@@ -1,0 +1,45 @@
+"""E1 — Clustering-comparison frame (Fig. 3, frame 1.1).
+
+For one dataset per family, run k-Graph and the two reference baselines
+(k-Means, k-Shape) and report their ARI side by side — exactly the numbers
+the frame annotates its panels with.  The expected shape (from the paper):
+k-Graph is competitive or better than both baselines on pattern datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import bench_catalogue, format_table, report
+from repro.metrics.clustering import adjusted_rand_index
+from repro.viz.session import GraphintSession
+
+DATASETS = ("cylinder_bell_funnel", "two_patterns", "seasonal_mixture", "trend_classes")
+
+
+def _run_comparison():
+    catalogue = bench_catalogue()
+    rows = []
+    for name in DATASETS:
+        dataset = catalogue.get(name).generate(random_state=0)
+        session = GraphintSession(dataset, n_lengths=3, random_state=0).fit()
+        row = {"dataset": name}
+        for method, labels in session.method_labels.items():
+            row[method] = adjusted_rand_index(dataset.labels, labels)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="E1-clustering-comparison")
+def test_bench_clustering_comparison_frame(benchmark):
+    rows = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+    table = format_table(rows, ["dataset", "kgraph", "kmeans", "kshape"])
+    wins = sum(1 for row in rows if row["kgraph"] >= max(row["kmeans"], row["kshape"]) - 0.05)
+    summary = (
+        f"{table}\n\nk-Graph best-or-tied on {wins}/{len(rows)} datasets "
+        "(paper expectation: competitive or better on pattern datasets)."
+    )
+    report("E1: Clustering comparison frame (ARI per method)", summary)
+    benchmark.extra_info["kgraph_wins"] = wins
+    benchmark.extra_info["rows"] = [{k: round(v, 3) if isinstance(v, float) else v for k, v in r.items()} for r in rows]
+    assert wins >= len(rows) // 2

@@ -1,0 +1,63 @@
+"""E4 — Interpretability test / Scenario 1 (Fig. 3, frame 3).
+
+Reproduces the quiz: simulated participants assign five series to clusters
+given only each method's cluster representation (centroids for k-Means and
+k-Shape, graphoids for k-Graph).  The paper's expectation is that the k-Graph
+representation yields participant scores at least as high as the centroid
+representations on pattern datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_utils import bench_catalogue, format_table, report
+from repro.viz.session import GraphintSession
+
+DATASETS = ("cylinder_bell_funnel", "sine_families", "two_patterns")
+N_USERS = 5
+
+
+def _run_quiz_campaign():
+    catalogue = bench_catalogue()
+    rows = []
+    for name in DATASETS:
+        dataset = catalogue.get(name).generate(random_state=2)
+        session = GraphintSession(dataset, n_lengths=3, random_state=2).fit()
+        session.build_quizzes(n_questions=5, n_users=N_USERS)
+        row = {"dataset": name}
+        row.update({f"score_{method}": score for method, score in session.quiz_scores.items()})
+        ari = session.summary()["ari"]
+        row.update({f"ari_{method}": value for method, value in ari.items()})
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="E4-interpretability-test")
+def test_bench_interpretability_quiz(benchmark):
+    rows = benchmark.pedantic(_run_quiz_campaign, rounds=1, iterations=1)
+    table = format_table(
+        rows,
+        ["dataset", "score_kgraph", "score_kmeans", "score_kshape", "ari_kgraph", "ari_kmeans", "ari_kshape"],
+    )
+    mean_scores = {
+        method: float(np.mean([row[f"score_{method}"] for row in rows]))
+        for method in ("kgraph", "kmeans", "kshape")
+    }
+    best = max(mean_scores, key=mean_scores.get)
+    summary = (
+        f"{table}\n\nmean participant score per method over {len(rows)} datasets x {N_USERS} "
+        f"simulated users: "
+        + ", ".join(f"{m}={v:.2f}" for m, v in sorted(mean_scores.items(), key=lambda kv: -kv[1]))
+        + f"\nhighest-scoring representation: {best} "
+        "(paper expectation: the k-Graph graphoid representation is the most informative)."
+    )
+    report("E4: Interpretability test (simulated participants)", summary)
+    benchmark.extra_info["mean_scores"] = {k: round(v, 3) for k, v in mean_scores.items()}
+    # Shape assertions: the k-Graph representation is clearly informative
+    # (well above the 1/k chance level) and competitive with the centroid
+    # representations.  Any residual gap vs the paper's human-study claim is
+    # recorded in EXPERIMENTS.md.
+    assert mean_scores["kgraph"] > 0.4
+    assert mean_scores["kgraph"] >= max(mean_scores.values()) - 0.35

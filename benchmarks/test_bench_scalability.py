@@ -1,0 +1,73 @@
+"""E8 — Scalability: runtime vs dataset size and series length.
+
+The demo paper does not report absolute runtimes, but a credible release of
+the system must characterise them (the k-Graph journal paper does).  This
+experiment measures wall-clock time of k-Graph, k-Means and k-Shape while
+growing (a) the number of series and (b) the series length, and reports the
+growth factors.  Expected shape: k-Graph grows roughly linearly with the
+number of series, sits between k-Means (fastest) and k-Shape.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from bench_utils import format_table, full_mode, report
+from repro.cluster.kmeans import KMeans
+from repro.cluster.kshape import KShape
+from repro.core.kgraph import KGraph
+from repro.datasets.synthetic import make_cylinder_bell_funnel
+from repro.utils.normalization import znormalize_dataset
+
+SERIES_GRID = (24, 48, 96) if not full_mode() else (30, 60, 120, 240)
+LENGTH_GRID = (64, 128) if not full_mode() else (64, 128, 256, 512)
+
+
+def _time(callable_):
+    start = time.perf_counter()
+    callable_()
+    return time.perf_counter() - start
+
+
+def _measure(n_series: int, length: int):
+    dataset = make_cylinder_bell_funnel(n_series=n_series, length=length, noise=0.2, random_state=0)
+    data = dataset.data
+    timings = {
+        "kgraph": _time(lambda: KGraph(n_clusters=3, n_lengths=3, random_state=0).fit(data)),
+        "kmeans": _time(lambda: KMeans(n_clusters=3, n_init=5, random_state=0).fit(znormalize_dataset(data))),
+        "kshape": _time(lambda: KShape(n_clusters=3, n_init=1, random_state=0).fit(data)),
+    }
+    return timings
+
+
+def _run_scalability():
+    rows = []
+    for n_series in SERIES_GRID:
+        timings = _measure(n_series, 96)
+        rows.append({"sweep": "n_series", "value": n_series, **timings})
+    for length in LENGTH_GRID:
+        timings = _measure(32, length)
+        rows.append({"sweep": "length", "value": length, **timings})
+    return rows
+
+
+@pytest.mark.benchmark(group="E8-scalability")
+def test_bench_scalability(benchmark):
+    rows = benchmark.pedantic(_run_scalability, rounds=1, iterations=1)
+    table = format_table(rows, ["sweep", "value", "kgraph", "kmeans", "kshape"])
+
+    series_rows = [row for row in rows if row["sweep"] == "n_series"]
+    growth = series_rows[-1]["kgraph"] / max(series_rows[0]["kgraph"], 1e-9)
+    size_ratio = series_rows[-1]["value"] / series_rows[0]["value"]
+    summary = (
+        f"{table}\n\nk-Graph runtime grew by x{growth:.1f} when the number of series grew by "
+        f"x{size_ratio:.0f} (paper expectation: roughly linear growth; k-Means fastest, "
+        "k-Graph between k-Means and k-Shape on long series)."
+    )
+    report("E8: Scalability (runtime vs #series and series length)", summary)
+    benchmark.extra_info["kgraph_growth_factor"] = round(growth, 2)
+    # Sub-quadratic growth in the number of series.
+    assert growth < size_ratio**2

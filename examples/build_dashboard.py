@@ -1,0 +1,59 @@
+"""Scenario 3 / system overview: build the full Graphint dashboard as HTML.
+
+Run with::
+
+    python examples/build_dashboard.py [--dataset NAME] [--output FILE]
+
+Fits the session (k-Graph + baselines + quizzes), optionally runs a small
+benchmark campaign to populate the Benchmark frame, and writes a single
+self-contained HTML file with all five frames (clustering comparison,
+benchmark, graph, interpretability test, under the hood).  Open the file in
+any browser — every plot is embedded SVG, no external assets needed.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchmark import BenchmarkRunner
+from repro.datasets import generate_dataset
+from repro.viz.dashboard import build_dashboard
+from repro.viz.session import GraphintSession
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="cylinder_bell_funnel")
+    parser.add_argument("--output", default="graphint_dashboard.html")
+    parser.add_argument(
+        "--with-benchmark",
+        action="store_true",
+        help="also run a small benchmark campaign to fill the Benchmark frame",
+    )
+    args = parser.parse_args()
+
+    dataset = generate_dataset(args.dataset, random_state=0)
+    print(f"fitting session on {dataset.name} ...")
+    session = GraphintSession(dataset, random_state=0)
+
+    benchmark_results = None
+    if args.with_benchmark:
+        print("running a small benchmark campaign for the Benchmark frame ...")
+        runner = BenchmarkRunner(
+            ["kmeans", "kshape", "featts_like", "gmm", "kgraph"], random_state=0
+        )
+        benchmark_results = runner.run(
+            ["cylinder_bell_funnel", "two_patterns", "trend_classes"]
+        )
+
+    page = build_dashboard(
+        session,
+        benchmark_results=benchmark_results,
+        output_path=args.output,
+    )
+    print(f"dashboard written to {args.output} ({len(page) / 1024:.0f} KiB)")
+    print("open it in a browser, or run `graphint serve` for the interactive version.")
+
+
+if __name__ == "__main__":
+    main()

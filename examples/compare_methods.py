@@ -1,0 +1,68 @@
+"""Scenario: compare k-Graph against the baseline population (Benchmark frame).
+
+Run with::
+
+    python examples/compare_methods.py [--full]
+
+By default a fast subset of methods and datasets is used so the example
+finishes in well under a minute; ``--full`` runs the complete 15-method
+campaign over the whole catalogue (what the Benchmark frame of the paper
+shows).  Results are saved to ``benchmark_results.json`` and summarised as a
+mean-score table and a mean-rank table.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchmark import (
+    BenchmarkRunner,
+    boxplot_summary,
+    mean_rank_table,
+    save_results,
+    summarize_by_method,
+)
+
+FAST_METHODS = ("kmeans", "kshape", "featts_like", "gmm", "spectral", "kgraph")
+FAST_DATASETS = ("cylinder_bell_funnel", "two_patterns", "trend_classes", "sine_families")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run all methods on all datasets")
+    parser.add_argument("--output", default="benchmark_results.json")
+    args = parser.parse_args()
+
+    methods = None if args.full else list(FAST_METHODS)
+    datasets = None if args.full else list(FAST_DATASETS)
+
+    runner = BenchmarkRunner(methods, random_state=0)
+
+    def progress(method: str, dataset: str, result) -> None:
+        status = "FAILED" if result.failed else f"ARI={result.measures.get('ari', float('nan')):.3f}"
+        print(f"  {dataset:<24} {method:<16} {status}")
+
+    print("running benchmark campaign...")
+    results = runner.run(datasets, progress=progress)
+    save_results(results, args.output)
+    print(f"\nresults saved to {args.output}\n")
+
+    print("mean score per method (higher is better):")
+    summary = summarize_by_method(results)
+    for method, values in sorted(summary.items(), key=lambda kv: -kv[1].get("ari", 0.0)):
+        print(f"  {method:<16} ARI={values.get('ari', float('nan')):.3f}  "
+              f"NMI={values.get('nmi', float('nan')):.3f}  "
+              f"runtime={values.get('runtime_seconds', 0.0):.2f}s")
+
+    print("\nmean rank (ARI, 1 = best):")
+    for method, rank in sorted(mean_rank_table(results, "ari").items(), key=lambda kv: kv[1]):
+        print(f"  {method:<16} {rank:.2f}")
+
+    print("\nARI distribution per method (box-plot statistics):")
+    for method, stats in sorted(boxplot_summary(results, "ari").items()):
+        print(f"  {method:<16} median={stats['median']:.3f}  "
+              f"[q1={stats['q1']:.3f}, q3={stats['q3']:.3f}]  n={stats['n']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim enabling legacy editable installs (pip install -e .).
+
+The pyproject.toml carries the real metadata; this file only exists so the
+offline environment (no wheel package available) can fall back to the
+``setup.py develop`` editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

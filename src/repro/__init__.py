@@ -1,0 +1,48 @@
+"""Graphint / k-Graph: graph-based interpretable time series clustering.
+
+This package is a from-scratch reproduction of
+
+    *Graphint: Graph-Based Time Series Clustering Visualisation Tool*
+    (Boniol, Tiano, Bonifati, Palpanas — ICDE 2025),
+
+covering both the k-Graph clustering pipeline (graph embedding, graph
+clustering, consensus clustering, interpretability computation) and the
+Graphint visual-analysis tool (five interactive frames rendered as
+self-contained HTML/SVG).
+
+Quickstart
+----------
+>>> from repro import KGraph, generate_dataset
+>>> dataset = generate_dataset("cylinder_bell_funnel", random_state=0)
+>>> model = KGraph(n_clusters=3, n_lengths=3, random_state=0)
+>>> labels = model.fit_predict(dataset.data)
+
+See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
+experiments reproducing every frame/figure of the paper.
+"""
+
+from repro.core.kgraph import KGraph, KGraphResult
+from repro.datasets.catalogue import default_catalogue, generate_dataset, list_dataset_names
+from repro.metrics.clustering import (
+    adjusted_mutual_information,
+    adjusted_rand_index,
+    normalized_mutual_information,
+    rand_index,
+)
+from repro.utils.containers import TimeSeriesDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KGraph",
+    "KGraphResult",
+    "TimeSeriesDataset",
+    "__version__",
+    "adjusted_mutual_information",
+    "adjusted_rand_index",
+    "default_catalogue",
+    "generate_dataset",
+    "list_dataset_names",
+    "normalized_mutual_information",
+    "rand_index",
+]

@@ -1,0 +1,34 @@
+"""The benchmark population: 14 baseline methods plus k-Graph wrappers.
+
+The Graphint Benchmark frame compares k-Graph against 14 baselines covering
+raw-based, feature-based, density-based, model-based and deep-learning
+methods.  This package provides a uniform ``name -> method`` registry where
+each method exposes ``fit_predict(dataset, n_clusters, random_state)`` on a
+:class:`repro.utils.TimeSeriesDataset`.
+
+The deep baselines (DAE, DTC, SOM-VAE) are NumPy re-implementations of the
+same model families (auto-encoder latent space + clustering); see DESIGN.md
+for the substitution rationale.
+"""
+
+from repro.baselines.neural import DenseAutoencoder
+from repro.baselines.deep import DAEClustering, DTCClustering, SOMVAEClustering
+from repro.baselines.registry import (
+    BaselineMethod,
+    all_baseline_names,
+    available_methods,
+    get_method,
+    run_method,
+)
+
+__all__ = [
+    "BaselineMethod",
+    "DAEClustering",
+    "DTCClustering",
+    "DenseAutoencoder",
+    "SOMVAEClustering",
+    "all_baseline_names",
+    "available_methods",
+    "get_method",
+    "run_method",
+]

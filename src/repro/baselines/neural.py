@@ -1,0 +1,179 @@
+"""A small dense auto-encoder implemented with NumPy.
+
+This is the shared backbone of the deep-learning-style baselines (DAE, DTC,
+SOM-VAE).  It is intentionally compact: a single hidden encoder/decoder pair
+trained with mini-batch gradient descent on the reconstruction error, enough
+to produce a meaningful latent space for clustering on the dataset sizes the
+Graphint tool targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_array, check_positive_int, check_random_state
+
+
+def _relu(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, 0.0)
+
+
+def _relu_grad(values: np.ndarray) -> np.ndarray:
+    return (values > 0.0).astype(values.dtype)
+
+
+class DenseAutoencoder:
+    """Fully connected auto-encoder ``input -> hidden -> latent -> hidden -> input``.
+
+    Parameters
+    ----------
+    latent_dim:
+        Size of the bottleneck representation.
+    hidden_dim:
+        Size of the intermediate layers (defaults to ``4 * latent_dim``).
+    n_epochs:
+        Training epochs over the dataset.
+    batch_size:
+        Mini-batch size.
+    learning_rate:
+        Gradient-descent step size.
+    random_state:
+        Seed for weight initialisation and batch shuffling.
+
+    Attributes
+    ----------
+    losses_:
+        Mean reconstruction loss per epoch (monotone decrease is asserted in
+        the tests for well-conditioned inputs).
+    """
+
+    def __init__(
+        self,
+        latent_dim: int = 8,
+        *,
+        hidden_dim: Optional[int] = None,
+        n_epochs: int = 60,
+        batch_size: int = 16,
+        learning_rate: float = 1e-2,
+        random_state=None,
+    ) -> None:
+        self.latent_dim = check_positive_int(latent_dim, "latent_dim")
+        self.hidden_dim = (
+            check_positive_int(hidden_dim, "hidden_dim") if hidden_dim is not None else 4 * self.latent_dim
+        )
+        self.n_epochs = check_positive_int(n_epochs, "n_epochs")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        if learning_rate <= 0:
+            raise ValidationError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.random_state = random_state
+
+        self._weights: Optional[List[np.ndarray]] = None
+        self._biases: Optional[List[np.ndarray]] = None
+        self.losses_: List[float] = []
+        self._input_dim: int = 0
+        self._scale: Tuple[np.ndarray, np.ndarray] = (np.zeros(1), np.ones(1))
+
+    # ------------------------------------------------------------------ #
+    def _init_parameters(self, input_dim: int, rng: np.random.Generator) -> None:
+        sizes = [input_dim, self.hidden_dim, self.latent_dim, self.hidden_dim, input_dim]
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self._weights.append(rng.uniform(-limit, limit, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+        self._input_dim = input_dim
+
+    def _forward(self, batch: np.ndarray):
+        """Forward pass returning every pre-activation and activation."""
+        activations = [batch]
+        pre_activations = []
+        current = batch
+        for layer, (weight, bias) in enumerate(zip(self._weights, self._biases)):
+            pre = current @ weight + bias
+            pre_activations.append(pre)
+            # Last layer is linear; latent layer (index 1) is linear too so the
+            # embedding is unbounded; the rest use ReLU.
+            if layer in (1, len(self._weights) - 1):
+                current = pre
+            else:
+                current = _relu(pre)
+            activations.append(current)
+        return pre_activations, activations
+
+    def fit(self, data) -> "DenseAutoencoder":
+        """Train on ``data`` of shape (n_samples, n_features)."""
+        array = check_array(data, name="data", ndim=2, min_rows=2)
+        rng = check_random_state(self.random_state)
+
+        means = array.mean(axis=0)
+        stds = array.std(axis=0)
+        stds = np.where(stds < 1e-12, 1.0, stds)
+        self._scale = (means, stds)
+        scaled = (array - means) / stds
+
+        self._init_parameters(scaled.shape[1], rng)
+        n = scaled.shape[0]
+        self.losses_ = []
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                batch = scaled[order[start: start + self.batch_size]]
+                pre_activations, activations = self._forward(batch)
+                output = activations[-1]
+                error = output - batch
+                epoch_loss += float(np.mean(error**2))
+                n_batches += 1
+
+                # Backpropagation through the 4 layers.
+                grad = 2.0 * error / batch.shape[0]
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    if layer not in (1, len(self._weights) - 1):
+                        grad = grad * _relu_grad(pre_activations[layer])
+                    weight_grad = activations[layer].T @ grad
+                    bias_grad = grad.sum(axis=0)
+                    grad = grad @ self._weights[layer].T
+                    self._weights[layer] -= self.learning_rate * weight_grad
+                    self._biases[layer] -= self.learning_rate * bias_grad
+            self.losses_.append(epoch_loss / max(n_batches, 1))
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._weights is None:
+            raise NotFittedError("DenseAutoencoder is not fitted yet")
+
+    def encode(self, data) -> np.ndarray:
+        """Latent representation of ``data``."""
+        self._check_fitted()
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if array.shape[1] != self._input_dim:
+            raise ValidationError(
+                f"data has {array.shape[1]} features, model expects {self._input_dim}"
+            )
+        means, stds = self._scale
+        current = (array - means) / stds
+        for layer in range(2):
+            pre = current @ self._weights[layer] + self._biases[layer]
+            current = pre if layer == 1 else _relu(pre)
+        return current
+
+    def reconstruct(self, data) -> np.ndarray:
+        """Decode the encoding of ``data`` back to the input space."""
+        self._check_fitted()
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        means, stds = self._scale
+        scaled = (array - means) / stds
+        _, activations = self._forward(scaled)
+        return activations[-1] * stds + means
+
+    def reconstruction_error(self, data) -> float:
+        """Mean squared reconstruction error in the original units."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        reconstruction = self.reconstruct(array)
+        return float(np.mean((reconstruction - array) ** 2))

@@ -1,0 +1,283 @@
+"""Registry of benchmark methods (14 baselines + k-Graph).
+
+Every method is wrapped as a :class:`BaselineMethod` exposing the same call
+signature so the benchmark runner, the Clustering-comparison frame and the
+Interpretability test can swap methods freely.
+
+The 14 baselines (matching the families discussed in the paper):
+
+raw-based           : kmeans, kshape, kmedoids-sbd, kdba-like (kmeans on
+                      z-normalised raw), agglomerative-ward, birch
+feature-based       : featts-like, time2feat-like
+density-based       : dbscan, optics, meanshift
+model/spectral      : gmm, spectral-rbf, som
+deep-learning-style : dae, dtc, somvae
+
+(That is 16 wrappers in total; `all_baseline_names()` exposes the canonical
+14 used by the Benchmark frame, the extras remain available by name.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster import (
+    DBSCAN,
+    OPTICS,
+    AgglomerativeClustering,
+    Birch,
+    GaussianMixture,
+    KMeans,
+    KMedoids,
+    KShape,
+    MeanShift,
+    SelfOrganizingMap,
+    SpectralClustering,
+)
+from repro.baselines.deep import DAEClustering, DTCClustering, SOMVAEClustering
+from repro.cluster.base import relabel_consecutive
+from repro.exceptions import ValidationError
+from repro.features.bank import extract_features
+from repro.features.selection import select_features
+from repro.metrics.distances import pairwise_distances
+from repro.utils.containers import TimeSeriesDataset
+from repro.utils.normalization import znormalize_dataset
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BaselineMethod:
+    """A named clustering method usable by the benchmark harness.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case, hyphen-free).
+    family:
+        One of ``"raw"``, ``"feature"``, ``"density"``, ``"model"``, ``"deep"``,
+        ``"graph"``; the Benchmark frame groups box plots by family.
+    runner:
+        Callable ``(dataset, n_clusters, random_state) -> labels``.
+    description:
+        One-line description shown in the GUI.
+    """
+
+    name: str
+    family: str
+    runner: Callable[[TimeSeriesDataset, int, Optional[int]], np.ndarray]
+    description: str = ""
+
+    def fit_predict(
+        self, dataset: TimeSeriesDataset, n_clusters: int, random_state=None
+    ) -> np.ndarray:
+        """Run the method and return cleaned (consecutive, non-negative) labels."""
+        n_clusters = check_positive_int(n_clusters, "n_clusters")
+        labels = np.asarray(self.runner(dataset, n_clusters, random_state))
+        if labels.shape[0] != dataset.n_series:
+            raise ValidationError(
+                f"method {self.name!r} returned {labels.shape[0]} labels for "
+                f"{dataset.n_series} series"
+            )
+        # Noise points (-1) become singleton clusters so external measures are defined.
+        labels = labels.copy()
+        noise = labels < 0
+        if np.any(noise):
+            next_label = labels.max() + 1 if labels.max() >= 0 else 0
+            for index in np.flatnonzero(noise):
+                labels[index] = next_label
+                next_label += 1
+        return relabel_consecutive(labels)
+
+
+# --------------------------------------------------------------------------- #
+# individual runners
+# --------------------------------------------------------------------------- #
+def _run_kmeans(dataset, n_clusters, random_state):
+    return KMeans(n_clusters=n_clusters, n_init=5, random_state=random_state).fit_predict(
+        dataset.data
+    )
+
+
+def _run_kmeans_znorm(dataset, n_clusters, random_state):
+    return KMeans(n_clusters=n_clusters, n_init=5, random_state=random_state).fit_predict(
+        znormalize_dataset(dataset.data)
+    )
+
+
+def _run_kshape(dataset, n_clusters, random_state):
+    return KShape(n_clusters=n_clusters, n_init=2, random_state=random_state).fit_predict(
+        dataset.data
+    )
+
+
+def _run_kmedoids_sbd(dataset, n_clusters, random_state):
+    distances = pairwise_distances(znormalize_dataset(dataset.data), metric="sbd")
+    return KMedoids(
+        n_clusters=n_clusters, metric="precomputed", random_state=random_state
+    ).fit_predict(distances)
+
+
+def _run_agglomerative(dataset, n_clusters, random_state):
+    return AgglomerativeClustering(n_clusters=n_clusters, linkage="ward").fit_predict(
+        znormalize_dataset(dataset.data)
+    )
+
+
+def _run_birch(dataset, n_clusters, random_state):
+    data = znormalize_dataset(dataset.data)
+    threshold = 0.5 * float(np.sqrt(data.shape[1]))
+    return Birch(n_clusters=n_clusters, threshold=threshold).fit_predict(data)
+
+
+def _run_featts_like(dataset, n_clusters, random_state):
+    features = extract_features(dataset.data)
+    reduced, _ = select_features(features, n_features=10)
+    return KMeans(n_clusters=n_clusters, n_init=5, random_state=random_state).fit_predict(reduced)
+
+
+def _run_time2feat_like(dataset, n_clusters, random_state):
+    features = extract_features(dataset.data)
+    return AgglomerativeClustering(n_clusters=n_clusters, linkage="average").fit_predict(features)
+
+
+def _run_dbscan(dataset, n_clusters, random_state):
+    data = znormalize_dataset(dataset.data)
+    distances = pairwise_distances(data)
+    upper = distances[np.triu_indices_from(distances, k=1)]
+    eps = float(np.quantile(upper, 0.1)) if upper.size else 1.0
+    eps = eps if eps > 0 else float(upper[upper > 0].min(initial=1.0))
+    return DBSCAN(eps=eps, min_samples=3, metric="precomputed").fit_predict(distances)
+
+
+def _run_optics(dataset, n_clusters, random_state):
+    data = znormalize_dataset(dataset.data)
+    return OPTICS(min_samples=3).fit_predict(data)
+
+
+def _run_meanshift(dataset, n_clusters, random_state):
+    return MeanShift().fit_predict(znormalize_dataset(dataset.data))
+
+
+def _run_gmm(dataset, n_clusters, random_state):
+    data = znormalize_dataset(dataset.data)
+    return GaussianMixture(
+        n_components=n_clusters, random_state=random_state
+    ).fit_predict(data)
+
+
+def _run_spectral(dataset, n_clusters, random_state):
+    return SpectralClustering(
+        n_clusters=n_clusters, affinity="rbf", random_state=random_state
+    ).fit_predict(znormalize_dataset(dataset.data))
+
+
+def _run_som(dataset, n_clusters, random_state):
+    return SelfOrganizingMap(
+        grid_shape=(3, 3), n_clusters=n_clusters, n_epochs=10, random_state=random_state
+    ).fit_predict(znormalize_dataset(dataset.data))
+
+
+def _run_dae(dataset, n_clusters, random_state):
+    return DAEClustering(
+        n_clusters=n_clusters, n_epochs=40, random_state=random_state
+    ).fit_predict(dataset.data)
+
+
+def _run_dtc(dataset, n_clusters, random_state):
+    return DTCClustering(
+        n_clusters=n_clusters, n_epochs=40, random_state=random_state
+    ).fit_predict(dataset.data)
+
+
+def _run_somvae(dataset, n_clusters, random_state):
+    return SOMVAEClustering(
+        n_clusters=n_clusters, n_epochs=40, random_state=random_state
+    ).fit_predict(dataset.data)
+
+
+def _run_kgraph(dataset, n_clusters, random_state):
+    from repro.core.kgraph import KGraph
+
+    model = KGraph(n_clusters=n_clusters, random_state=random_state)
+    return model.fit_predict(dataset.data)
+
+
+_REGISTRY: Dict[str, BaselineMethod] = {}
+
+
+def _register(name, family, runner, description):
+    _REGISTRY[name] = BaselineMethod(name=name, family=family, runner=runner, description=description)
+
+
+_register("kmeans", "raw", _run_kmeans, "k-Means on raw series (Euclidean)")
+_register("kmeans_znorm", "raw", _run_kmeans_znorm, "k-Means on z-normalised series")
+_register("kshape", "raw", _run_kshape, "k-Shape (shape-based distance)")
+_register("kmedoids_sbd", "raw", _run_kmedoids_sbd, "k-Medoids on SBD distances")
+_register("agglomerative", "raw", _run_agglomerative, "Ward agglomerative on z-normalised series")
+_register("birch", "raw", _run_birch, "BIRCH-style CF summarisation + ward refinement")
+_register("featts_like", "feature", _run_featts_like, "Feature extraction + selection + k-Means (FeatTS-like)")
+_register("time2feat_like", "feature", _run_time2feat_like, "Feature extraction + agglomerative (Time2Feat-like)")
+_register("dbscan", "density", _run_dbscan, "DBSCAN on z-normalised series")
+_register("optics", "density", _run_optics, "OPTICS with median-reachability extraction")
+_register("meanshift", "density", _run_meanshift, "Mean shift with estimated bandwidth")
+_register("gmm", "model", _run_gmm, "Diagonal Gaussian mixture (EM)")
+_register("spectral", "model", _run_spectral, "Spectral clustering on an RBF affinity")
+_register("som", "model", _run_som, "Self-organising map")
+_register("dae", "deep", _run_dae, "Auto-encoder latent space + k-Means (DAE)")
+_register("dtc", "deep", _run_dtc, "Deep temporal clustering style (AE + soft assignment refinement)")
+_register("somvae", "deep", _run_somvae, "Auto-encoder latent space quantised by a SOM (SOM-VAE-like)")
+_register("kgraph", "graph", _run_kgraph, "k-Graph (graph embedding + consensus clustering)")
+
+#: The 14 baselines shown in the Benchmark frame (k-Graph itself excluded).
+_BENCHMARK_BASELINES = (
+    "kmeans",
+    "kmeans_znorm",
+    "kshape",
+    "kmedoids_sbd",
+    "agglomerative",
+    "birch",
+    "featts_like",
+    "time2feat_like",
+    "dbscan",
+    "meanshift",
+    "gmm",
+    "spectral",
+    "som",
+    "dae",
+)
+
+
+def get_method(name: str) -> BaselineMethod:
+    """Look a method up by registry name."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise ValidationError(f"unknown method {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[key]
+
+
+def available_methods() -> List[str]:
+    """All registered method names (baselines plus k-Graph and extras)."""
+    return sorted(_REGISTRY)
+
+
+def all_baseline_names() -> List[str]:
+    """The canonical 14 Benchmark-frame baselines, in display order."""
+    return list(_BENCHMARK_BASELINES)
+
+
+def run_method(
+    name: str, dataset: TimeSeriesDataset, n_clusters: Optional[int] = None, random_state=None
+) -> np.ndarray:
+    """Convenience wrapper: run a registered method on a dataset.
+
+    ``n_clusters`` defaults to the dataset's number of ground-truth classes
+    (the standard protocol on the UCR archive), falling back to 3 when the
+    dataset is unlabelled.
+    """
+    method = get_method(name)
+    if n_clusters is None:
+        n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
+    return method.fit_predict(dataset, n_clusters, random_state=random_state)

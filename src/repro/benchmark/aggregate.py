@@ -1,0 +1,155 @@
+"""Filtering and aggregation of benchmark results.
+
+These are the operations behind the Benchmark frame's widgets: filter the
+result population by dataset attributes, then summarise each method's score
+distribution as a box plot and a mean-rank table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.benchmark.runner import BenchmarkResult
+from repro.exceptions import BenchmarkError
+
+
+def results_to_rows(results: Sequence[BenchmarkResult]) -> List[Dict[str, object]]:
+    """Flatten results to plain dictionaries (CSV/JSON friendly)."""
+    return [result.to_dict() for result in results]
+
+
+def filter_results(
+    results: Sequence[BenchmarkResult],
+    *,
+    dataset_type: Optional[str] = None,
+    min_length: Optional[int] = None,
+    max_length: Optional[int] = None,
+    min_classes: Optional[int] = None,
+    max_classes: Optional[int] = None,
+    min_series: Optional[int] = None,
+    max_series: Optional[int] = None,
+    methods: Optional[Sequence[str]] = None,
+    include_failed: bool = False,
+) -> List[BenchmarkResult]:
+    """Filter along the Benchmark-frame dimensions."""
+    method_set = {m.lower() for m in methods} if methods is not None else None
+    kept: List[BenchmarkResult] = []
+    for result in results:
+        if not include_failed and result.failed:
+            continue
+        if dataset_type is not None and result.dataset_type != dataset_type:
+            continue
+        if min_length is not None and result.length < min_length:
+            continue
+        if max_length is not None and result.length > max_length:
+            continue
+        if min_classes is not None and result.n_classes < min_classes:
+            continue
+        if max_classes is not None and result.n_classes > max_classes:
+            continue
+        if min_series is not None and result.n_series < min_series:
+            continue
+        if max_series is not None and result.n_series > max_series:
+            continue
+        if method_set is not None and result.method.lower() not in method_set:
+            continue
+        kept.append(result)
+    return kept
+
+
+def _scores_by_method(
+    results: Sequence[BenchmarkResult], measure: str
+) -> Dict[str, List[float]]:
+    scores: Dict[str, List[float]] = {}
+    for result in results:
+        if result.failed or measure not in result.measures:
+            continue
+        scores.setdefault(result.method, []).append(float(result.measures[measure]))
+    if not scores:
+        raise BenchmarkError(f"no successful results carry the measure {measure!r}")
+    return scores
+
+
+def boxplot_summary(
+    results: Sequence[BenchmarkResult], measure: str = "ari"
+) -> Dict[str, Dict[str, float]]:
+    """Box-plot statistics (min, q1, median, q3, max, mean, n) per method."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for method, values in _scores_by_method(results, measure).items():
+        array = np.asarray(values, dtype=float)
+        summary[method] = {
+            "min": float(array.min()),
+            "q1": float(np.percentile(array, 25)),
+            "median": float(np.median(array)),
+            "q3": float(np.percentile(array, 75)),
+            "max": float(array.max()),
+            "mean": float(array.mean()),
+            "n": int(array.size),
+        }
+    return summary
+
+
+def summarize_by_method(
+    results: Sequence[BenchmarkResult], measures: Sequence[str] = ("ari", "ri", "nmi", "ami")
+) -> Dict[str, Dict[str, float]]:
+    """Mean of each measure per method (one row per method)."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for measure in measures:
+        for method, values in _scores_by_method(results, measure).items():
+            summary.setdefault(method, {})[measure] = float(np.mean(values))
+    # Attach mean runtime as an extra column.
+    runtimes: Dict[str, List[float]] = {}
+    for result in results:
+        if not result.failed:
+            runtimes.setdefault(result.method, []).append(result.runtime_seconds)
+    for method, values in runtimes.items():
+        summary.setdefault(method, {})["runtime_seconds"] = float(np.mean(values))
+    return summary
+
+
+def mean_rank_table(
+    results: Sequence[BenchmarkResult], measure: str = "ari"
+) -> Dict[str, float]:
+    """Average rank of each method across datasets (1 = best).
+
+    Methods missing on a dataset are ignored for that dataset; ties share the
+    average of the tied ranks, as in standard critical-difference analyses.
+    """
+    per_dataset: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        if result.failed or measure not in result.measures:
+            continue
+        per_dataset.setdefault(result.dataset, {})[result.method] = float(
+            result.measures[measure]
+        )
+    if not per_dataset:
+        raise BenchmarkError(f"no successful results carry the measure {measure!r}")
+
+    rank_sums: Dict[str, float] = {}
+    rank_counts: Dict[str, int] = {}
+    for scores in per_dataset.values():
+        methods = list(scores)
+        values = np.array([scores[m] for m in methods])
+        # Higher scores get better (smaller) ranks; ties share average ranks.
+        order = np.argsort(-values)
+        ranks = np.empty(len(methods), dtype=float)
+        position = 0
+        while position < len(methods):
+            tied_end = position
+            while (
+                tied_end + 1 < len(methods)
+                and values[order[tied_end + 1]] == values[order[position]]
+            ):
+                tied_end += 1
+            average_rank = (position + tied_end) / 2.0 + 1.0
+            for tied_position in range(position, tied_end + 1):
+                ranks[order[tied_position]] = average_rank
+            position = tied_end + 1
+        for method, rank in zip(methods, ranks):
+            rank_sums[method] = rank_sums.get(method, 0.0) + float(rank)
+            rank_counts[method] = rank_counts.get(method, 0) + 1
+    return {
+        method: rank_sums[method] / rank_counts[method] for method in sorted(rank_sums)
+    }

@@ -1,0 +1,225 @@
+"""Benchmark runner: methods x datasets x measures.
+
+One :class:`BenchmarkResult` is produced per (method, dataset) pair and
+carries every evaluation measure plus the dataset attributes the Benchmark
+frame filters on.  Failures of individual methods are recorded (not raised)
+so a single brittle baseline cannot take down a whole campaign — mirroring
+how published benchmark harnesses handle method errors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.registry import all_baseline_names, get_method
+from repro.datasets.catalogue import DatasetCatalogue, default_catalogue
+from repro.exceptions import BenchmarkError
+from repro.metrics.clustering import clustering_report
+from repro.utils.containers import TimeSeriesDataset
+from repro.utils.rng import SeedSequencePool
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one (method, dataset) benchmark run."""
+
+    method: str
+    family: str
+    dataset: str
+    dataset_type: str
+    n_series: int
+    length: int
+    n_classes: int
+    measures: Dict[str, float] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the method raised instead of producing labels."""
+        return self.error is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat JSON-serialisable representation."""
+        row: Dict[str, object] = {
+            "method": self.method,
+            "family": self.family,
+            "dataset": self.dataset,
+            "dataset_type": self.dataset_type,
+            "n_series": self.n_series,
+            "length": self.length,
+            "n_classes": self.n_classes,
+            "runtime_seconds": self.runtime_seconds,
+            "error": self.error,
+        }
+        row.update(self.measures)
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Dict[str, object]) -> "BenchmarkResult":
+        """Inverse of :meth:`to_dict`."""
+        known = {
+            "method",
+            "family",
+            "dataset",
+            "dataset_type",
+            "n_series",
+            "length",
+            "n_classes",
+            "runtime_seconds",
+            "error",
+        }
+        measures = {
+            key: float(value)
+            for key, value in row.items()
+            if key not in known and isinstance(value, (int, float))
+        }
+        return cls(
+            method=str(row["method"]),
+            family=str(row.get("family", "")),
+            dataset=str(row["dataset"]),
+            dataset_type=str(row.get("dataset_type", "")),
+            n_series=int(row.get("n_series", 0)),
+            length=int(row.get("length", 0)),
+            n_classes=int(row.get("n_classes", 0)),
+            measures=measures,
+            runtime_seconds=float(row.get("runtime_seconds", 0.0)),
+            error=row.get("error"),
+        )
+
+
+class BenchmarkRunner:
+    """Runs a set of methods over a set of datasets.
+
+    Parameters
+    ----------
+    methods:
+        Method names from the baseline registry; defaults to the 14
+        Benchmark-frame baselines plus ``"kgraph"``.
+    catalogue:
+        Dataset catalogue; defaults to :func:`repro.datasets.default_catalogue`.
+    n_runs:
+        Repetitions per (method, dataset) pair with different seeds; measures
+        are averaged over runs (the Benchmark frame shows one point per pair).
+    random_state:
+        Seed pool controlling dataset generation and method seeds.
+    """
+
+    def __init__(
+        self,
+        methods: Optional[Sequence[str]] = None,
+        *,
+        catalogue: Optional[DatasetCatalogue] = None,
+        n_runs: int = 1,
+        random_state=None,
+    ) -> None:
+        if methods is None:
+            methods = all_baseline_names() + ["kgraph"]
+        if not methods:
+            raise BenchmarkError("at least one method is required")
+        self.methods = [get_method(name).name for name in methods]
+        self.catalogue = catalogue if catalogue is not None else default_catalogue()
+        self.n_runs = check_positive_int(n_runs, "n_runs")
+        self._seed_pool = SeedSequencePool(random_state)
+
+    # ------------------------------------------------------------------ #
+    def run_single(
+        self, method_name: str, dataset: TimeSeriesDataset, random_state=None
+    ) -> BenchmarkResult:
+        """Run one method on one (already materialised) dataset."""
+        method = get_method(method_name)
+        n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
+        result = BenchmarkResult(
+            method=method.name,
+            family=method.family,
+            dataset=dataset.name,
+            dataset_type=dataset.dataset_type,
+            n_series=dataset.n_series,
+            length=dataset.length,
+            n_classes=dataset.n_classes,
+        )
+        start = time.perf_counter()
+        try:
+            labels = method.fit_predict(dataset, n_clusters, random_state=random_state)
+            result.runtime_seconds = time.perf_counter() - start
+            if dataset.labels is not None:
+                result.measures = clustering_report(dataset.labels, labels)
+        except Exception as exc:  # noqa: BLE001 - a failing baseline must not stop the campaign
+            result.runtime_seconds = time.perf_counter() - start
+            result.error = f"{type(exc).__name__}: {exc}"
+        return result
+
+    def run(
+        self,
+        dataset_names: Optional[Sequence[str]] = None,
+        *,
+        progress: Optional[callable] = None,
+    ) -> List[BenchmarkResult]:
+        """Run the full campaign and return one averaged result per pair.
+
+        Parameters
+        ----------
+        dataset_names:
+            Subset of catalogue names; ``None`` runs the whole catalogue.
+        progress:
+            Optional callback ``(method, dataset, result)`` invoked after each
+            individual run (used by the CLI to stream progress).
+        """
+        names = list(dataset_names) if dataset_names is not None else self.catalogue.names()
+        results: List[BenchmarkResult] = []
+        for dataset_name in names:
+            spec = self.catalogue.get(dataset_name)
+            for method_name in self.methods:
+                per_run: List[BenchmarkResult] = []
+                for _ in range(self.n_runs):
+                    dataset = spec.generate(random_state=self._seed_pool.next_seed())
+                    run_result = self.run_single(
+                        method_name, dataset, random_state=self._seed_pool.next_seed()
+                    )
+                    per_run.append(run_result)
+                    if progress is not None:
+                        progress(method_name, dataset_name, run_result)
+                results.append(self._average(per_run))
+        if not results:
+            raise BenchmarkError("the benchmark campaign produced no results")
+        return results
+
+    @staticmethod
+    def _average(runs: List[BenchmarkResult]) -> BenchmarkResult:
+        """Average measures/runtime over repeated runs of the same pair."""
+        successful = [run for run in runs if not run.failed]
+        template = successful[0] if successful else runs[0]
+        if not successful:
+            return template
+        measures: Dict[str, float] = {}
+        for key in successful[0].measures:
+            measures[key] = float(np.mean([run.measures[key] for run in successful]))
+        return BenchmarkResult(
+            method=template.method,
+            family=template.family,
+            dataset=template.dataset,
+            dataset_type=template.dataset_type,
+            n_series=template.n_series,
+            length=template.length,
+            n_classes=template.n_classes,
+            measures=measures,
+            runtime_seconds=float(np.mean([run.runtime_seconds for run in successful])),
+            error=None,
+        )
+
+
+def run_benchmark(
+    methods: Optional[Sequence[str]] = None,
+    dataset_names: Optional[Sequence[str]] = None,
+    *,
+    n_runs: int = 1,
+    random_state=None,
+) -> List[BenchmarkResult]:
+    """Convenience one-call benchmark campaign."""
+    runner = BenchmarkRunner(methods, n_runs=n_runs, random_state=random_state)
+    return runner.run(dataset_names)

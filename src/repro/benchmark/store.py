@@ -1,0 +1,50 @@
+"""Persistence of benchmark results as JSON (and CSV export).
+
+The Benchmark frame reads a pre-computed result file when available so the
+GUI loads instantly; the benchmark harness writes these files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.benchmark.runner import BenchmarkResult
+from repro.exceptions import BenchmarkError
+
+
+def save_results(
+    results: Sequence[BenchmarkResult], path: Union[str, Path], *, fmt: str = "json"
+) -> Path:
+    """Write results to ``path`` in JSON (default) or CSV format."""
+    if not results:
+        raise BenchmarkError("cannot save an empty result set")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = [result.to_dict() for result in results]
+    if fmt == "json":
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(rows, handle, indent=2, sort_keys=True)
+    elif fmt == "csv":
+        fieldnames = sorted({key for row in rows for key in row})
+        with path.open("w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(rows)
+    else:
+        raise BenchmarkError(f"unknown format {fmt!r}; use 'json' or 'csv'")
+    return path
+
+
+def load_results(path: Union[str, Path]) -> List[BenchmarkResult]:
+    """Load results previously written by :func:`save_results` (JSON only)."""
+    path = Path(path)
+    if not path.exists():
+        raise BenchmarkError(f"result file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        rows = json.load(handle)
+    if not isinstance(rows, list):
+        raise BenchmarkError("result file must contain a JSON list")
+    return [BenchmarkResult.from_dict(row) for row in rows]

@@ -1,0 +1,41 @@
+"""Clustering algorithms implemented from scratch on NumPy.
+
+These estimators serve two purposes:
+
+* **substrates** for k-Graph itself (k-Means in the graph-clustering step,
+  spectral clustering in the consensus step), and
+* **baselines** for the Benchmark frame, which compares k-Graph against a
+  population of raw-based, feature-based and model-based methods.
+
+All estimators share the small API defined in :class:`repro.cluster.base.BaseClusterer`:
+``fit(X)``, ``fit_predict(X)`` and a ``labels_`` attribute.
+"""
+
+from repro.cluster.base import BaseClusterer
+from repro.cluster.kmeans import KMeans, kmeans_plus_plus_init
+from repro.cluster.kmedoids import KMedoids
+from repro.cluster.kshape import KShape
+from repro.cluster.spectral import SpectralClustering
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.dbscan import DBSCAN
+from repro.cluster.optics import OPTICS
+from repro.cluster.gaussian_mixture import GaussianMixture
+from repro.cluster.meanshift import MeanShift
+from repro.cluster.birch import Birch
+from repro.cluster.som import SelfOrganizingMap
+
+__all__ = [
+    "AgglomerativeClustering",
+    "BaseClusterer",
+    "Birch",
+    "DBSCAN",
+    "GaussianMixture",
+    "KMeans",
+    "KMedoids",
+    "KShape",
+    "MeanShift",
+    "OPTICS",
+    "SelfOrganizingMap",
+    "SpectralClustering",
+    "kmeans_plus_plus_init",
+]

@@ -1,0 +1,151 @@
+"""Agglomerative hierarchical clustering (single/complete/average/ward).
+
+Implemented with the Lance-Williams update formula on a dense distance
+matrix, which is appropriate for the benchmark-scale datasets the Graphint
+tool handles (hundreds of series).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.utils.validation import check_array, check_positive_int
+
+_LINKAGES = ("single", "complete", "average", "ward")
+
+
+class AgglomerativeClustering(BaseClusterer):
+    """Bottom-up hierarchical clustering cut at ``n_clusters``.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of flat clusters to return.
+    linkage:
+        ``"single"``, ``"complete"``, ``"average"`` or ``"ward"``.
+    metric:
+        Distance for the initial matrix, or ``"precomputed"``.  Ward linkage
+        requires Euclidean distances.
+
+    Attributes
+    ----------
+    labels_:
+        Flat cluster assignment.
+    merge_history_:
+        List of ``(cluster_a, cluster_b, distance)`` tuples in merge order,
+        usable to draw a dendrogram.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 2,
+        *,
+        linkage: str = "average",
+        metric: str = "euclidean",
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        if linkage not in _LINKAGES:
+            raise ValidationError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
+        if linkage == "ward" and metric not in {"euclidean", "precomputed"}:
+            raise ValidationError("ward linkage requires euclidean distances")
+        self.linkage = linkage
+        self.metric = metric
+
+        self.labels_: Optional[np.ndarray] = None
+        self.merge_history_: List[Tuple[int, int, float]] = []
+
+    # ------------------------------------------------------------------ #
+    def _lance_williams(
+        self,
+        d_ik: np.ndarray,
+        d_jk: np.ndarray,
+        d_ij: float,
+        size_i: int,
+        size_j: int,
+        sizes_k: np.ndarray,
+    ) -> np.ndarray:
+        if self.linkage == "single":
+            return np.minimum(d_ik, d_jk)
+        if self.linkage == "complete":
+            return np.maximum(d_ik, d_jk)
+        if self.linkage == "average":
+            total = size_i + size_j
+            return (size_i * d_ik + size_j * d_jk) / total
+        # Ward (squared-distance form handled by caller).
+        total = size_i + size_j + sizes_k
+        return (
+            (size_i + sizes_k) * d_ik + (size_j + sizes_k) * d_jk - sizes_k * d_ij
+        ) / total
+
+    def fit(self, data) -> "AgglomerativeClustering":
+        """Cluster ``data`` (feature matrix or precomputed distance matrix)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if self.metric == "precomputed":
+            if array.shape[0] != array.shape[1]:
+                raise ValidationError("precomputed distance matrix must be square")
+            distances = array.astype(float).copy()
+        else:
+            distances = pairwise_distances(array, metric=self.metric)
+        n = distances.shape[0]
+        if self.n_clusters > n:
+            raise ValidationError(
+                f"n_clusters ({self.n_clusters}) cannot exceed n_samples ({n})"
+            )
+        if self.linkage == "ward":
+            # Work with squared distances for the Lance-Williams ward update.
+            distances = distances**2
+
+        active = list(range(n))
+        sizes = np.ones(n, dtype=int)
+        membership = [[i] for i in range(n)]
+        working = distances.copy()
+        np.fill_diagonal(working, np.inf)
+        self.merge_history_ = []
+
+        n_active = n
+        while n_active > self.n_clusters:
+            # Find the closest active pair.
+            sub = working[np.ix_(active, active)]
+            flat = int(np.argmin(sub))
+            ai, aj = divmod(flat, len(active))
+            if ai == aj:
+                break
+            i, j = active[ai], active[aj]
+            if i > j:
+                i, j = j, i
+            d_ij = float(working[i, j])
+            self.merge_history_.append((i, j, d_ij if self.linkage != "ward" else float(np.sqrt(d_ij))))
+
+            others = np.array([k for k in active if k != i and k != j], dtype=int)
+            if others.size:
+                updated = self._lance_williams(
+                    working[i, others],
+                    working[j, others],
+                    d_ij,
+                    int(sizes[i]),
+                    int(sizes[j]),
+                    sizes[others].astype(float),
+                )
+                working[i, others] = updated
+                working[others, i] = updated
+            working[i, i] = np.inf
+            working[j, :] = np.inf
+            working[:, j] = np.inf
+
+            membership[i] = membership[i] + membership[j]
+            membership[j] = []
+            sizes[i] = sizes[i] + sizes[j]
+            active.remove(j)
+            n_active -= 1
+
+        labels = np.empty(n, dtype=int)
+        for cluster_id, root in enumerate(active):
+            for sample in membership[root]:
+                labels[sample] = cluster_id
+        self.labels_ = labels
+        return self

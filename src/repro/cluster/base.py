@@ -1,0 +1,64 @@
+"""Common estimator API for every clustering algorithm in the library."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+class BaseClusterer:
+    """Minimal clustering estimator protocol.
+
+    Subclasses implement :meth:`fit` and set ``labels_`` (and optionally
+    ``cluster_centers_``); everything else is shared here.
+    """
+
+    labels_: Optional[np.ndarray] = None
+
+    def fit(self, data) -> "BaseClusterer":  # pragma: no cover - abstract
+        """Fit the clusterer on ``data`` and populate ``labels_``."""
+        raise NotImplementedError
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Fit on ``data`` and return the resulting labels."""
+        self.fit(data)
+        return self.labels_
+
+    def _check_fitted(self) -> None:
+        if self.labels_ is None:
+            raise NotFittedError(
+                f"{type(self).__name__} instance is not fitted yet; call fit() first"
+            )
+
+    @property
+    def n_clusters_found_(self) -> int:
+        """Number of distinct clusters in ``labels_`` (noise label -1 excluded)."""
+        self._check_fitted()
+        labels = np.asarray(self.labels_)
+        return int(np.unique(labels[labels >= 0]).size)
+
+    def get_params(self) -> Dict[str, object]:
+        """Return constructor-style parameters (public attributes only)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.endswith("_") and not key.startswith("_")
+        }
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.get_params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+def relabel_consecutive(labels: np.ndarray) -> np.ndarray:
+    """Map labels to consecutive integers 0..k-1, preserving -1 as noise."""
+    labels = np.asarray(labels)
+    result = np.full(labels.shape[0], -1, dtype=int)
+    valid = labels >= 0
+    if np.any(valid):
+        _, inverse = np.unique(labels[valid], return_inverse=True)
+        result[valid] = inverse
+    return result

@@ -1,0 +1,138 @@
+"""BIRCH-style clustering with a clustering-feature (CF) summarisation stage.
+
+This is a simplified BIRCH: a one-pass CF summarisation (threshold-driven
+subcluster creation) followed by global agglomerative clustering of the
+subcluster centroids, then label propagation back to the samples.  It keeps
+the defining characteristic of BIRCH (single-pass summarisation before
+global clustering) with far less bookkeeping than a full CF-tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive_int
+
+
+class _ClusteringFeature:
+    """Sufficient statistics (n, linear sum, squared sum) of a subcluster."""
+
+    __slots__ = ("count", "linear_sum", "squared_sum")
+
+    def __init__(self, point: np.ndarray) -> None:
+        self.count = 1
+        self.linear_sum = point.copy()
+        self.squared_sum = float(point @ point)
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.linear_sum / self.count
+
+    @property
+    def radius(self) -> float:
+        centroid = self.centroid
+        value = self.squared_sum / self.count - float(centroid @ centroid)
+        return float(np.sqrt(max(value, 0.0)))
+
+    def add(self, point: np.ndarray) -> None:
+        self.count += 1
+        self.linear_sum = self.linear_sum + point
+        self.squared_sum += float(point @ point)
+
+    def radius_if_added(self, point: np.ndarray) -> float:
+        count = self.count + 1
+        linear = self.linear_sum + point
+        squared = self.squared_sum + float(point @ point)
+        centroid = linear / count
+        value = squared / count - float(centroid @ centroid)
+        return float(np.sqrt(max(value, 0.0)))
+
+
+class Birch(BaseClusterer):
+    """Single-pass CF summarisation + global agglomerative refinement.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of final clusters.
+    threshold:
+        Maximum subcluster radius; new points that would exceed it start a new
+        subcluster.
+    branching_factor:
+        Upper bound on the number of subclusters (memory guard); when reached,
+        the threshold is doubled and summarisation restarts.
+
+    Attributes
+    ----------
+    subcluster_centers_:
+        Centroids of the CF subclusters.
+    labels_:
+        Final cluster assignment per sample.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        threshold: float = 0.5,
+        branching_factor: int = 200,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        if threshold <= 0:
+            raise ValidationError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+        self.branching_factor = check_positive_int(branching_factor, "branching_factor", minimum=2)
+
+        self.subcluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+
+    def _summarise(self, array: np.ndarray, threshold: float) -> List[_ClusteringFeature]:
+        features: List[_ClusteringFeature] = []
+        for point in array:
+            if not features:
+                features.append(_ClusteringFeature(point))
+                continue
+            centroids = np.vstack([cf.centroid for cf in features])
+            nearest = int(np.argmin(np.linalg.norm(centroids - point, axis=1)))
+            if features[nearest].radius_if_added(point) <= threshold:
+                features[nearest].add(point)
+            else:
+                features.append(_ClusteringFeature(point))
+                if len(features) > self.branching_factor:
+                    return []
+        return features
+
+    def fit(self, data) -> "Birch":
+        """Summarise then cluster ``data`` of shape (n_samples, n_features)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if self.n_clusters > array.shape[0]:
+            raise ValidationError(
+                f"n_clusters ({self.n_clusters}) cannot exceed n_samples ({array.shape[0]})"
+            )
+
+        threshold = self.threshold
+        features = self._summarise(array, threshold)
+        while not features:
+            threshold *= 2.0
+            features = self._summarise(array, threshold)
+
+        centers = np.vstack([cf.centroid for cf in features])
+        self.subcluster_centers_ = centers
+
+        if centers.shape[0] <= self.n_clusters:
+            sub_labels = np.arange(centers.shape[0])
+        else:
+            global_clusterer = AgglomerativeClustering(
+                n_clusters=self.n_clusters, linkage="ward", metric="euclidean"
+            )
+            sub_labels = global_clusterer.fit_predict(centers)
+
+        distances = np.linalg.norm(array[:, None, :] - centers[None, :, :], axis=2)
+        nearest_sub = np.argmin(distances, axis=1)
+        self.labels_ = sub_labels[nearest_sub]
+        return self

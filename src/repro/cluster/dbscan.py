@@ -1,0 +1,89 @@
+"""DBSCAN density-based clustering.
+
+A classic baseline included in the Benchmark-frame population; it can return
+a noise label (-1) which the harness maps to its own singleton clusters when
+computing external measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.utils.validation import check_array, check_positive_int
+
+
+class DBSCAN(BaseClusterer):
+    """Density-Based Spatial Clustering of Applications with Noise.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum neighbourhood size (including the point itself) for a core point.
+    metric:
+        Distance metric name, or ``"precomputed"``.
+
+    Attributes
+    ----------
+    labels_:
+        Cluster assignment; ``-1`` marks noise.
+    core_sample_indices_:
+        Indices of core samples.
+    """
+
+    def __init__(
+        self,
+        eps: float = 0.5,
+        min_samples: int = 5,
+        *,
+        metric: str = "euclidean",
+    ) -> None:
+        if eps <= 0:
+            raise ValidationError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+        self.min_samples = check_positive_int(min_samples, "min_samples")
+        self.metric = metric
+
+        self.labels_: Optional[np.ndarray] = None
+        self.core_sample_indices_: Optional[np.ndarray] = None
+
+    def fit(self, data) -> "DBSCAN":
+        """Cluster ``data`` (feature matrix or precomputed distances)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if self.metric == "precomputed":
+            if array.shape[0] != array.shape[1]:
+                raise ValidationError("precomputed distance matrix must be square")
+            distances = array
+        else:
+            distances = pairwise_distances(array, metric=self.metric)
+        n = distances.shape[0]
+
+        neighbourhoods = [np.flatnonzero(distances[i] <= self.eps) for i in range(n)]
+        is_core = np.array([len(nb) >= self.min_samples for nb in neighbourhoods])
+
+        labels = np.full(n, -1, dtype=int)
+        cluster_id = 0
+        for seed in range(n):
+            if labels[seed] != -1 or not is_core[seed]:
+                continue
+            # Breadth-first expansion of the density-reachable set.
+            labels[seed] = cluster_id
+            queue = deque(neighbourhoods[seed].tolist())
+            while queue:
+                point = queue.popleft()
+                if labels[point] == -1:
+                    labels[point] = cluster_id
+                    if is_core[point]:
+                        queue.extend(neighbourhoods[point].tolist())
+            cluster_id += 1
+
+        self.labels_ = labels
+        self.core_sample_indices_ = np.flatnonzero(is_core)
+        return self

@@ -1,0 +1,138 @@
+"""Gaussian mixture model clustering via expectation-maximisation.
+
+Model-based baseline for the Benchmark frame; diagonal covariances keep the
+estimator robust in the high-dimensional raw-series space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.cluster.kmeans import KMeans
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive_int, check_random_state
+
+
+class GaussianMixture(BaseClusterer):
+    """Diagonal-covariance Gaussian mixture fitted with EM.
+
+    Parameters
+    ----------
+    n_components:
+        Number of mixture components (clusters).
+    max_iter:
+        Maximum EM iterations.
+    tol:
+        Log-likelihood improvement threshold for convergence.
+    reg_covar:
+        Ridge added to variances for numerical stability.
+    random_state:
+        Seed controlling the k-Means initialisation.
+
+    Attributes
+    ----------
+    weights_, means_, variances_:
+        Mixture parameters.
+    labels_:
+        Hard assignment (argmax responsibility) of the training data.
+    log_likelihood_:
+        Final per-sample average log-likelihood.
+    """
+
+    def __init__(
+        self,
+        n_components: int = 2,
+        *,
+        max_iter: int = 200,
+        tol: float = 1e-5,
+        reg_covar: float = 1e-6,
+        random_state=None,
+    ) -> None:
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        if tol <= 0:
+            raise ValidationError(f"tol must be positive, got {tol}")
+        self.tol = float(tol)
+        if reg_covar < 0:
+            raise ValidationError(f"reg_covar must be non-negative, got {reg_covar}")
+        self.reg_covar = float(reg_covar)
+        self.random_state = random_state
+
+        self.weights_: Optional[np.ndarray] = None
+        self.means_: Optional[np.ndarray] = None
+        self.variances_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.log_likelihood_: Optional[float] = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------ #
+    def _log_gaussian(self, data: np.ndarray) -> np.ndarray:
+        """Per-sample, per-component log density (n_samples, n_components)."""
+        n, d = data.shape
+        log_prob = np.empty((n, self.n_components))
+        for j in range(self.n_components):
+            var = self.variances_[j]
+            diff = data - self.means_[j]
+            log_prob[:, j] = -0.5 * (
+                d * np.log(2.0 * np.pi)
+                + np.sum(np.log(var))
+                + np.sum(diff * diff / var, axis=1)
+            )
+        return log_prob
+
+    def fit(self, data) -> "GaussianMixture":
+        """Fit the mixture on ``data`` of shape (n_samples, n_features)."""
+        array = check_array(data, name="data", ndim=2, min_rows=2)
+        n, d = array.shape
+        if self.n_components > n:
+            raise ValidationError(
+                f"n_components ({self.n_components}) cannot exceed n_samples ({n})"
+            )
+        rng = check_random_state(self.random_state)
+
+        # Initialise responsibilities from a quick k-Means partition.
+        kmeans = KMeans(n_clusters=self.n_components, n_init=3, random_state=rng)
+        initial = kmeans.fit_predict(array)
+        responsibilities = np.zeros((n, self.n_components))
+        responsibilities[np.arange(n), initial] = 1.0
+
+        previous_ll = -np.inf
+        for self.n_iter_ in range(1, self.max_iter + 1):
+            # M step.
+            weights = responsibilities.sum(axis=0) + 1e-12
+            self.weights_ = weights / n
+            self.means_ = (responsibilities.T @ array) / weights[:, None]
+            variances = np.empty((self.n_components, d))
+            for j in range(self.n_components):
+                diff = array - self.means_[j]
+                variances[j] = (responsibilities[:, j] @ (diff * diff)) / weights[j]
+            self.variances_ = variances + self.reg_covar
+
+            # E step.
+            log_prob = self._log_gaussian(array) + np.log(self.weights_)[None, :]
+            log_norm = np.logaddexp.reduce(log_prob, axis=1)
+            responsibilities = np.exp(log_prob - log_norm[:, None])
+            log_likelihood = float(log_norm.mean())
+            if abs(log_likelihood - previous_ll) < self.tol:
+                previous_ll = log_likelihood
+                break
+            previous_ll = log_likelihood
+
+        self.log_likelihood_ = previous_ll
+        self.labels_ = np.argmax(responsibilities, axis=1)
+        return self
+
+    def predict_proba(self, data) -> np.ndarray:
+        """Posterior responsibilities for new samples."""
+        self._check_fitted()
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        log_prob = self._log_gaussian(array) + np.log(self.weights_)[None, :]
+        log_norm = np.logaddexp.reduce(log_prob, axis=1)
+        return np.exp(log_prob - log_norm[:, None])
+
+    def predict(self, data) -> np.ndarray:
+        """Hard component assignment for new samples."""
+        return np.argmax(self.predict_proba(data), axis=1)

@@ -1,0 +1,175 @@
+"""Lloyd's k-Means with k-means++ initialisation and restarts.
+
+k-Means is used twice in the paper: as the per-graph clustering step of
+k-Graph (on node/edge feature matrices) and as one of the raw baselines in
+the comparison frames.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_positive_int,
+    check_random_state,
+)
+
+
+def kmeans_plus_plus_init(data: np.ndarray, n_clusters: int, rng: np.random.Generator) -> np.ndarray:
+    """Choose initial centroids with the k-means++ D^2 weighting scheme."""
+    data = check_array(data, name="data", ndim=2)
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    n_samples = data.shape[0]
+    if n_clusters > n_samples:
+        raise ValidationError(
+            f"n_clusters ({n_clusters}) cannot exceed the number of samples ({n_samples})"
+        )
+    centers = np.empty((n_clusters, data.shape[1]))
+    first = int(rng.integers(n_samples))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for i in range(1, n_clusters):
+        total = float(closest_sq.sum())
+        if total <= 1e-18:
+            # All remaining points coincide with existing centers; pick randomly.
+            idx = int(rng.integers(n_samples))
+        else:
+            probabilities = closest_sq / total
+            idx = int(rng.choice(n_samples, p=probabilities))
+        centers[i] = data[idx]
+        distances = np.sum((data - centers[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, distances)
+    return centers
+
+
+class KMeans(BaseClusterer):
+    """Euclidean k-Means (Lloyd's algorithm).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    n_init:
+        Number of k-means++ restarts; the run with the lowest inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Relative center-shift tolerance for convergence.
+    random_state:
+        Seed or generator controlling initialisation.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        Final centroids, shape ``(n_clusters, n_features)``.
+    labels_:
+        Cluster index per sample.
+    inertia_:
+        Sum of squared distances of samples to their closest centroid.
+    n_iter_:
+        Iterations run by the best restart.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-4,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        if tol < 0:
+            raise ValidationError(f"tol must be non-negative, got {tol}")
+        self.tol = float(tol)
+        self.random_state = random_state
+
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _assign(data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        distances = (
+            np.sum(data**2, axis=1)[:, None]
+            - 2.0 * data @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        return np.argmin(distances, axis=1)
+
+    @staticmethod
+    def _inertia(data: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
+        diff = data - centers[labels]
+        return float(np.sum(diff * diff))
+
+    def _single_run(self, data: np.ndarray, rng: np.random.Generator):
+        centers = kmeans_plus_plus_init(data, self.n_clusters, rng)
+        labels = self._assign(data, centers)
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            new_centers = centers.copy()
+            for j in range(self.n_clusters):
+                members = data[labels == j]
+                if members.shape[0] == 0:
+                    # Re-seed an empty cluster with the point farthest from its centroid.
+                    distances = np.sum((data - centers[labels]) ** 2, axis=1)
+                    new_centers[j] = data[int(np.argmax(distances))]
+                else:
+                    new_centers[j] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centers - centers))
+            scale = float(np.linalg.norm(centers)) + 1e-12
+            centers = new_centers
+            new_labels = self._assign(data, centers)
+            converged = shift / scale <= self.tol or np.array_equal(new_labels, labels)
+            labels = new_labels
+            if converged:
+                break
+        return centers, labels, self._inertia(data, centers, labels), n_iter
+
+    def fit(self, data) -> "KMeans":
+        """Run k-Means on ``data`` of shape (n_samples, n_features)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if array.shape[0] < self.n_clusters:
+            raise ValidationError(
+                f"n_clusters ({self.n_clusters}) cannot exceed n_samples ({array.shape[0]})"
+            )
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(array, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, data) -> np.ndarray:
+        """Assign each row of ``data`` to its nearest fitted centroid."""
+        self._check_fitted()
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if array.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValidationError(
+                f"data has {array.shape[1]} features, centroids have "
+                f"{self.cluster_centers_.shape[1]}"
+            )
+        return self._assign(array, self.cluster_centers_)
+
+    def transform(self, data) -> np.ndarray:
+        """Distance of each sample to each centroid (cluster-distance space)."""
+        self._check_fitted()
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        distances = (
+            np.sum(array**2, axis=1)[:, None]
+            - 2.0 * array @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.sqrt(np.maximum(distances, 0.0))

@@ -1,0 +1,99 @@
+"""k-Medoids (PAM-style) clustering on arbitrary distance matrices.
+
+Used as a baseline in the Benchmark frame with either Euclidean or SBD
+distances (medoid-based clustering is a common alternative when centroids
+are not meaningful, e.g. for warped series).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.utils.validation import check_array, check_positive_int, check_random_state
+
+
+class KMedoids(BaseClusterer):
+    """Partitioning Around Medoids with alternating assignment/update steps.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    metric:
+        Distance used to build the pairwise matrix (``"euclidean"``, ``"sbd"``,
+        ``"dtw"``) or ``"precomputed"`` when ``fit`` receives a distance matrix.
+    max_iter:
+        Maximum alternations.
+    random_state:
+        Seed or generator for the initial medoid choice.
+
+    Attributes
+    ----------
+    medoid_indices_:
+        Indices of the final medoids into the fitted data.
+    labels_:
+        Cluster assignment per sample.
+    inertia_:
+        Total distance of samples to their medoid.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        metric: str = "euclidean",
+        max_iter: int = 100,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.metric = metric
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.random_state = random_state
+
+        self.medoid_indices_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+
+    def fit(self, data) -> "KMedoids":
+        """Cluster ``data`` (feature matrix or, when metric='precomputed', distances)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if self.metric == "precomputed":
+            if array.shape[0] != array.shape[1]:
+                raise ValidationError("precomputed distance matrix must be square")
+            distances = array
+        else:
+            distances = pairwise_distances(array, metric=self.metric)
+        n = distances.shape[0]
+        if self.n_clusters > n:
+            raise ValidationError(
+                f"n_clusters ({self.n_clusters}) cannot exceed n_samples ({n})"
+            )
+        rng = check_random_state(self.random_state)
+        medoids = rng.choice(n, size=self.n_clusters, replace=False)
+
+        labels = np.argmin(distances[:, medoids], axis=1)
+        for _ in range(self.max_iter):
+            new_medoids = medoids.copy()
+            for j in range(self.n_clusters):
+                members = np.flatnonzero(labels == j)
+                if members.size == 0:
+                    # Re-seed an empty cluster with the sample farthest from its medoid.
+                    assigned = distances[np.arange(n), medoids[labels]]
+                    new_medoids[j] = int(np.argmax(assigned))
+                    continue
+                within = distances[np.ix_(members, members)]
+                new_medoids[j] = members[int(np.argmin(within.sum(axis=1)))]
+            new_labels = np.argmin(distances[:, new_medoids], axis=1)
+            if np.array_equal(new_medoids, medoids) and np.array_equal(new_labels, labels):
+                break
+            medoids, labels = new_medoids, new_labels
+
+        self.medoid_indices_ = medoids
+        self.labels_ = labels
+        self.inertia_ = float(distances[np.arange(n), medoids[labels]].sum())
+        return self

@@ -1,0 +1,159 @@
+"""k-Shape clustering (Paparrizos & Gravano, SIGMOD 2015).
+
+k-Shape is one of the two baselines shown side-by-side with k-Graph in the
+Clustering-comparison and Interpretability-test frames.  It clusters
+z-normalised series with the shape-based distance (SBD) and extracts each
+cluster's centroid as the maximiser of a Rayleigh quotient over aligned
+members ("shape extraction").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.metrics.distances import align_by_sbd, sbd_distance
+from repro.utils.normalization import znormalize, znormalize_dataset
+from repro.utils.validation import check_array, check_positive_int, check_random_state
+
+
+class KShape(BaseClusterer):
+    """Shape-based time series clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    max_iter:
+        Maximum refinement iterations.
+    n_init:
+        Independent restarts; the run with the lowest total SBD wins.
+    random_state:
+        Seed or generator for the random initial assignment.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        Z-normalised centroid series, shape ``(n_clusters, length)``.
+    labels_:
+        Cluster index per series.
+    inertia_:
+        Sum of SBD distances of members to their centroid.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        max_iter: int = 50,
+        n_init: int = 3,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.random_state = random_state
+
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: Optional[float] = None
+        self.n_iter_: int = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _shape_extraction(members: np.ndarray, reference: np.ndarray) -> np.ndarray:
+        """Extract a new centroid from ``members`` aligned to ``reference``."""
+        length = members.shape[1]
+        if members.shape[0] == 0:
+            return reference.copy()
+        aligned = np.vstack([align_by_sbd(reference, series) for series in members])
+        aligned = znormalize_dataset(aligned)
+        # Rayleigh quotient maximisation: the new shape is the dominant
+        # eigenvector of Q^T S Q where S = A^T A and Q centres the series.
+        s = aligned.T @ aligned
+        q = np.eye(length) - np.full((length, length), 1.0 / length)
+        m = q @ s @ q
+        eigenvalues, eigenvectors = np.linalg.eigh(m)
+        centroid = eigenvectors[:, int(np.argmax(eigenvalues))]
+        # The eigenvector sign is arbitrary: keep the orientation closest to the members.
+        distance_pos = float(np.sum((aligned - centroid) ** 2))
+        distance_neg = float(np.sum((aligned + centroid) ** 2))
+        if distance_neg < distance_pos:
+            centroid = -centroid
+        return znormalize(centroid)
+
+    def _assign(self, data: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        n = data.shape[0]
+        labels = np.zeros(n, dtype=int)
+        for i in range(n):
+            distances = [sbd_distance(centers[j], data[i]) for j in range(self.n_clusters)]
+            labels[i] = int(np.argmin(distances))
+        return labels
+
+    def _total_distance(self, data: np.ndarray, centers: np.ndarray, labels: np.ndarray) -> float:
+        return float(
+            sum(sbd_distance(centers[labels[i]], data[i]) for i in range(data.shape[0]))
+        )
+
+    def _single_run(self, data: np.ndarray, rng: np.random.Generator):
+        n = data.shape[0]
+        labels = rng.integers(0, self.n_clusters, size=n)
+        # Guarantee every cluster is initially non-empty.
+        for j in range(self.n_clusters):
+            if not np.any(labels == j):
+                labels[int(rng.integers(n))] = j
+        centers = np.vstack(
+            [znormalize(data[labels == j].mean(axis=0)) for j in range(self.n_clusters)]
+        )
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            new_centers = centers.copy()
+            for j in range(self.n_clusters):
+                members = data[labels == j]
+                if members.shape[0] > 0:
+                    new_centers[j] = self._shape_extraction(members, centers[j])
+            new_labels = self._assign(data, new_centers)
+            # Re-seed empty clusters with the worst-fitting series.
+            for j in range(self.n_clusters):
+                if not np.any(new_labels == j):
+                    distances = np.array(
+                        [sbd_distance(new_centers[new_labels[i]], data[i]) for i in range(n)]
+                    )
+                    new_labels[int(np.argmax(distances))] = j
+            centers = new_centers
+            if np.array_equal(new_labels, labels):
+                labels = new_labels
+                break
+            labels = new_labels
+        return centers, labels, self._total_distance(data, centers, labels), n_iter
+
+    def fit(self, data) -> "KShape":
+        """Cluster the rows of ``data`` (each row a univariate series)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if array.shape[0] < self.n_clusters:
+            raise ValidationError(
+                f"n_clusters ({self.n_clusters}) cannot exceed n_series ({array.shape[0]})"
+            )
+        array = znormalize_dataset(array)
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers, labels, inertia, n_iter = self._single_run(array, rng)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia, n_iter)
+        self.cluster_centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, data) -> np.ndarray:
+        """Assign new series to the nearest (SBD) fitted centroid."""
+        self._check_fitted()
+        array = znormalize_dataset(check_array(data, name="data", ndim=2, min_rows=1))
+        if array.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValidationError(
+                f"series length {array.shape[1]} does not match centroid length "
+                f"{self.cluster_centers_.shape[1]}"
+            )
+        return self._assign(array, self.cluster_centers_)

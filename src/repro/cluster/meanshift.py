@@ -1,0 +1,107 @@
+"""Mean-shift clustering with a flat (top-hat) kernel.
+
+Mode-seeking baseline: the number of clusters is discovered from the data,
+which contrasts nicely with the fixed-k methods in the Benchmark frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.utils.validation import check_array, check_positive_int
+
+
+def estimate_bandwidth(data, quantile: float = 0.3) -> float:
+    """Estimate a bandwidth as the ``quantile`` of the pairwise distances."""
+    array = check_array(data, name="data", ndim=2, min_rows=2)
+    if not 0.0 < quantile <= 1.0:
+        raise ValidationError(f"quantile must be in (0, 1], got {quantile}")
+    distances = pairwise_distances(array)
+    upper = distances[np.triu_indices_from(distances, k=1)]
+    if upper.size == 0:
+        return 1.0
+    value = float(np.quantile(upper, quantile))
+    return value if value > 0 else float(upper[upper > 0].min(initial=1.0))
+
+
+class MeanShift(BaseClusterer):
+    """Flat-kernel mean shift.
+
+    Parameters
+    ----------
+    bandwidth:
+        Kernel radius; ``None`` estimates it from the data.
+    max_iter:
+        Maximum shifting iterations per seed.
+    merge_tol_factor:
+        Modes closer than ``merge_tol_factor * bandwidth`` are merged.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        Discovered modes.
+    labels_:
+        Assignment of each sample to its nearest mode.
+    """
+
+    def __init__(
+        self,
+        bandwidth: Optional[float] = None,
+        *,
+        max_iter: int = 300,
+        merge_tol_factor: float = 0.5,
+    ) -> None:
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValidationError(f"bandwidth must be positive, got {bandwidth}")
+        self.bandwidth = bandwidth
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        if merge_tol_factor <= 0:
+            raise ValidationError("merge_tol_factor must be positive")
+        self.merge_tol_factor = float(merge_tol_factor)
+
+        self.cluster_centers_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.bandwidth_: Optional[float] = None
+
+    def fit(self, data) -> "MeanShift":
+        """Run mean shift on ``data`` of shape (n_samples, n_features)."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        bandwidth = self.bandwidth if self.bandwidth is not None else estimate_bandwidth(array)
+        self.bandwidth_ = float(bandwidth)
+
+        modes = array.copy()
+        for _ in range(self.max_iter):
+            new_modes = modes.copy()
+            moved = False
+            for i in range(modes.shape[0]):
+                distances = np.linalg.norm(array - modes[i], axis=1)
+                within = array[distances <= bandwidth]
+                if within.shape[0] == 0:
+                    continue
+                candidate = within.mean(axis=0)
+                if not np.allclose(candidate, modes[i], atol=1e-7):
+                    moved = True
+                new_modes[i] = candidate
+            modes = new_modes
+            if not moved:
+                break
+
+        # Merge modes that landed within a fraction of the bandwidth.
+        centers = []
+        for mode in modes:
+            for existing in centers:
+                if np.linalg.norm(mode - existing) <= self.merge_tol_factor * bandwidth:
+                    break
+            else:
+                centers.append(mode)
+        centers = np.vstack(centers)
+
+        distances = np.linalg.norm(array[:, None, :] - centers[None, :, :], axis=2)
+        self.cluster_centers_ = centers
+        self.labels_ = np.argmin(distances, axis=1)
+        return self

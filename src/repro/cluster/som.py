@@ -1,0 +1,123 @@
+"""Self-organising map (Kohonen network) clustering.
+
+The SOM serves two roles: it is a stand-alone baseline, and it is the
+quantisation backbone of the SOM-VAE-style deep baseline in
+:mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive_int, check_random_state
+
+
+class SelfOrganizingMap(BaseClusterer):
+    """Rectangular-grid SOM trained with exponentially decaying neighbourhood.
+
+    Parameters
+    ----------
+    grid_shape:
+        ``(rows, cols)`` of the SOM lattice; the number of units bounds the
+        number of clusters.
+    n_clusters:
+        Optional number of final clusters.  When smaller than the number of
+        units, unit prototypes are merged with k-Means; when ``None``, each
+        non-empty unit is its own cluster.
+    n_epochs:
+        Training passes over the data.
+    learning_rate:
+        Initial learning rate (decays to ~1% of it).
+    sigma:
+        Initial neighbourhood radius in grid space (defaults to half the grid
+        diagonal).
+    random_state:
+        Seed for weight initialisation and sample order shuffling.
+    """
+
+    def __init__(
+        self,
+        grid_shape: Tuple[int, int] = (3, 3),
+        *,
+        n_clusters: Optional[int] = None,
+        n_epochs: int = 20,
+        learning_rate: float = 0.5,
+        sigma: Optional[float] = None,
+        random_state=None,
+    ) -> None:
+        rows = check_positive_int(int(grid_shape[0]), "grid rows")
+        cols = check_positive_int(int(grid_shape[1]), "grid cols")
+        self.grid_shape = (rows, cols)
+        self.n_clusters = None if n_clusters is None else check_positive_int(n_clusters, "n_clusters")
+        self.n_epochs = check_positive_int(n_epochs, "n_epochs")
+        if learning_rate <= 0:
+            raise ValidationError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        if sigma is not None and sigma <= 0:
+            raise ValidationError(f"sigma must be positive, got {sigma}")
+        self.sigma = sigma
+        self.random_state = random_state
+
+        self.weights_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.unit_assignments_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_units(self) -> int:
+        """Number of lattice units."""
+        return self.grid_shape[0] * self.grid_shape[1]
+
+    def _grid_coordinates(self) -> np.ndarray:
+        rows, cols = self.grid_shape
+        coords = np.array([(r, c) for r in range(rows) for c in range(cols)], dtype=float)
+        return coords
+
+    def fit(self, data) -> "SelfOrganizingMap":
+        """Train the map and derive cluster labels."""
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        n, d = array.shape
+        rng = check_random_state(self.random_state)
+
+        low, high = array.min(axis=0), array.max(axis=0)
+        span = np.where(high - low < 1e-12, 1.0, high - low)
+        self.weights_ = rng.uniform(size=(self.n_units, d)) * span + low
+
+        coords = self._grid_coordinates()
+        sigma0 = self.sigma if self.sigma is not None else max(self.grid_shape) / 2.0
+        total_steps = self.n_epochs * n
+        step = 0
+        for _ in range(self.n_epochs):
+            for idx in rng.permutation(n):
+                progress = step / max(total_steps - 1, 1)
+                lr = self.learning_rate * np.exp(-4.0 * progress)
+                sigma = max(sigma0 * np.exp(-4.0 * progress), 0.3)
+                sample = array[idx]
+                bmu = int(np.argmin(np.linalg.norm(self.weights_ - sample, axis=1)))
+                grid_dist = np.linalg.norm(coords - coords[bmu], axis=1)
+                influence = np.exp(-(grid_dist**2) / (2.0 * sigma**2))
+                self.weights_ += lr * influence[:, None] * (sample - self.weights_)
+                step += 1
+
+        assignments = np.argmin(
+            np.linalg.norm(array[:, None, :] - self.weights_[None, :, :], axis=2), axis=1
+        )
+        self.unit_assignments_ = assignments
+
+        if self.n_clusters is None or self.n_clusters >= self.n_units:
+            # Each non-empty unit is a cluster.
+            from repro.cluster.base import relabel_consecutive
+
+            self.labels_ = relabel_consecutive(assignments)
+        else:
+            from repro.cluster.kmeans import KMeans
+
+            unit_clusters = KMeans(
+                n_clusters=self.n_clusters, n_init=5, random_state=rng
+            ).fit_predict(self.weights_)
+            self.labels_ = unit_clusters[assignments]
+        return self

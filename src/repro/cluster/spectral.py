@@ -1,0 +1,111 @@
+"""Spectral clustering on an affinity matrix (normalised-cut embedding).
+
+Spectral clustering plays two roles in the paper: it is the consensus step of
+k-Graph ("We finally apply spectral clustering on this matrix and produce a
+final clustering partition L") and it is one of the benchmark baselines when
+applied to an RBF affinity of the raw series.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.base import BaseClusterer
+from repro.cluster.kmeans import KMeans
+from repro.exceptions import ValidationError
+from repro.linalg.kernels import rbf_affinity
+from repro.utils.validation import check_array, check_positive_int
+
+
+class SpectralClustering(BaseClusterer):
+    """Normalised spectral clustering (Ng-Jordan-Weiss style).
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    affinity:
+        ``"precomputed"`` when ``fit`` receives an affinity/similarity matrix
+        directly (the consensus-matrix case), or ``"rbf"`` to build a Gaussian
+        affinity from a feature matrix.
+    gamma:
+        RBF scale when ``affinity="rbf"`` (``None`` = median heuristic).
+    n_init, random_state:
+        Passed to the k-Means discretisation of the spectral embedding.
+
+    Attributes
+    ----------
+    labels_:
+        Final cluster assignment.
+    embedding_:
+        Row-normalised spectral embedding used for the k-Means step.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 2,
+        *,
+        affinity: str = "rbf",
+        gamma: Optional[float] = None,
+        n_init: int = 10,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        if affinity not in {"rbf", "precomputed"}:
+            raise ValidationError(f"affinity must be 'rbf' or 'precomputed', got {affinity!r}")
+        self.affinity = affinity
+        self.gamma = gamma
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.random_state = random_state
+
+        self.labels_: Optional[np.ndarray] = None
+        self.embedding_: Optional[np.ndarray] = None
+        self.affinity_matrix_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def _build_affinity(self, data: np.ndarray) -> np.ndarray:
+        if self.affinity == "precomputed":
+            matrix = check_array(data, name="affinity", ndim=2)
+            if matrix.shape[0] != matrix.shape[1]:
+                raise ValidationError("precomputed affinity matrix must be square")
+            if np.any(matrix < -1e-12):
+                raise ValidationError("affinity values must be non-negative")
+            matrix = np.maximum(matrix, 0.0)
+            return 0.5 * (matrix + matrix.T)
+        return rbf_affinity(data, gamma=self.gamma)
+
+    def fit(self, data) -> "SpectralClustering":
+        """Cluster ``data`` (feature matrix or precomputed affinity)."""
+        affinity = self._build_affinity(np.asarray(data, dtype=float))
+        n = affinity.shape[0]
+        if self.n_clusters > n:
+            raise ValidationError(
+                f"n_clusters ({self.n_clusters}) cannot exceed n_samples ({n})"
+            )
+        self.affinity_matrix_ = affinity
+
+        degrees = affinity.sum(axis=1)
+        # Guard against isolated points (zero degree) to keep D^-1/2 finite.
+        inv_sqrt_degrees = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+        normalized = affinity * inv_sqrt_degrees[:, None] * inv_sqrt_degrees[None, :]
+        # Eigenvectors of the normalised affinity associated with the largest
+        # eigenvalues span the same space as the smallest eigenvectors of the
+        # normalised Laplacian I - D^-1/2 A D^-1/2.
+        eigenvalues, eigenvectors = np.linalg.eigh(normalized)
+        order = np.argsort(eigenvalues)[::-1]
+        components = eigenvectors[:, order[: self.n_clusters]]
+
+        norms = np.linalg.norm(components, axis=1, keepdims=True)
+        norms = np.where(norms < 1e-12, 1.0, norms)
+        embedding = components / norms
+        self.embedding_ = embedding
+
+        kmeans = KMeans(
+            n_clusters=self.n_clusters,
+            n_init=self.n_init,
+            random_state=self.random_state,
+        )
+        self.labels_ = kmeans.fit_predict(embedding)
+        return self

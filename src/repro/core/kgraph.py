@@ -1,0 +1,425 @@
+"""The :class:`KGraph` estimator — the full pipeline of Figure 1.
+
+``KGraph.fit`` runs, in order:
+
+1. **Graph Embedding** — one :class:`~repro.graph.structure.TimeSeriesGraph`
+   per subsequence length in the length grid (M graphs).
+2. **Graph Clustering** — per-graph node/edge feature matrices clustered with
+   k-Means, giving M partitions L_ℓ.
+3. **Consensus Clustering** — co-association matrix over the M partitions and
+   spectral clustering on it, giving the final labels L.
+4. **Interpretability Computation** — consistency W_c(ℓ) and interpretability
+   factor W_e(ℓ) per length, selection of the optimal length ¯ℓ, and λ/γ
+   graphoid extraction on the selected graph.
+
+Every intermediate artifact is kept on the fitted estimator (and bundled in
+:class:`KGraphResult`) because the Graphint frames visualise all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.consensus import consensus_clustering
+from repro.core.graph_clustering import GraphPartition, cluster_graph
+from repro.core.interpretability import (
+    LengthScore,
+    interpretability_scores,
+    select_optimal_length,
+)
+from repro.exceptions import NotFittedError, ValidationError
+from repro.graph.embedding import GraphEmbedding
+from repro.graph.graphoid import (
+    Graphoid,
+    extract_gamma_graphoid,
+    extract_lambda_graphoid,
+    node_exclusivity,
+    node_representativity,
+)
+from repro.graph.structure import TimeSeriesGraph
+from repro.utils.rng import spawn_rng
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_positive_int,
+    check_probability,
+    check_random_state,
+    check_time_series_dataset,
+)
+from repro.utils.windows import length_grid
+
+
+@dataclass
+class KGraphResult:
+    """Everything the Graphint frames need about one fitted k-Graph model.
+
+    Attributes
+    ----------
+    labels:
+        Final consensus labels L.
+    graphs:
+        Mapping length ℓ -> transition graph G_ℓ.
+    partitions:
+        Per-length partitions (labels L_ℓ plus the feature matrices).
+    consensus_matrix:
+        Co-association matrix M_C used by the consensus step.
+    length_scores:
+        ``W_c`` / ``W_e`` per length (Under-the-hood frame, panel 4.1).
+    optimal_length:
+        The selected length ¯ℓ.
+    graphoids:
+        Mapping cluster -> λ-Graphoid and γ-Graphoid on the selected graph.
+    timings:
+        Wall-clock seconds per pipeline stage.
+    """
+
+    labels: np.ndarray
+    graphs: Dict[int, TimeSeriesGraph]
+    partitions: List[GraphPartition]
+    consensus_matrix: np.ndarray
+    length_scores: List[LengthScore]
+    optimal_length: int
+    lambda_graphoids: Dict[int, Graphoid] = field(default_factory=dict)
+    gamma_graphoids: Dict[int, Graphoid] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def optimal_graph(self) -> TimeSeriesGraph:
+        """The graph G_{¯ℓ} rendered by the Graph frame."""
+        return self.graphs[self.optimal_length]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters in the final labels."""
+        return int(np.unique(self.labels).size)
+
+    def partition_for(self, length: int) -> GraphPartition:
+        """The per-length partition L_ℓ."""
+        for partition in self.partitions:
+            if partition.length == length:
+                return partition
+        raise ValidationError(f"no partition for length {length}")
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable run summary (Under-the-hood frame header)."""
+        return {
+            "n_series": int(self.labels.shape[0]),
+            "n_clusters": self.n_clusters,
+            "lengths": sorted(self.graphs),
+            "optimal_length": self.optimal_length,
+            "length_scores": [
+                {
+                    "length": score.length,
+                    "consistency": score.consistency,
+                    "interpretability": score.interpretability,
+                    "combined": score.combined,
+                }
+                for score in self.length_scores
+            ],
+            "graph_sizes": {
+                length: graph.summary() for length, graph in self.graphs.items()
+            },
+            "timings": dict(self.timings),
+        }
+
+
+class KGraph:
+    """Graph-based interpretable time series clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    n_lengths:
+        Number of subsequence lengths M in the grid (ignored when ``lengths``
+        is given explicitly).
+    lengths:
+        Optional explicit list of subsequence lengths.
+    stride:
+        Subsequence extraction stride (1 = every subsequence).
+    n_sectors:
+        Angular sectors of the radial-scan node extraction.
+    feature_mode:
+        ``"both"`` (node + edge features, the paper's design), ``"nodes"`` or
+        ``"edges"`` — exposed for the ablation study.
+    lambda_threshold, gamma_threshold:
+        Default λ / γ used for the graphoids attached to the result (the Graph
+        frame lets the user change them interactively afterwards).
+    random_state:
+        Seed or generator controlling every stochastic sub-step.
+
+    Examples
+    --------
+    >>> from repro.datasets import generate_dataset
+    >>> from repro.core import KGraph
+    >>> dataset = generate_dataset("cylinder_bell_funnel", random_state=0)
+    >>> model = KGraph(n_clusters=3, n_lengths=3, random_state=0)
+    >>> labels = model.fit_predict(dataset.data)
+    >>> labels.shape == (dataset.n_series,)
+    True
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        n_lengths: int = 4,
+        lengths: Optional[Sequence[int]] = None,
+        stride: int = 1,
+        n_sectors: int = 24,
+        feature_mode: str = "both",
+        lambda_threshold: float = 0.5,
+        gamma_threshold: float = 0.5,
+        random_state=None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters", minimum=2)
+        self.n_lengths = check_positive_int(n_lengths, "n_lengths")
+        if lengths is not None:
+            lengths = [check_positive_int(int(v), "length", minimum=2) for v in lengths]
+            if not lengths:
+                raise ValidationError("lengths must not be empty")
+        self.lengths = lengths
+        self.stride = check_positive_int(stride, "stride")
+        self.n_sectors = check_positive_int(n_sectors, "n_sectors", minimum=2)
+        if feature_mode not in {"both", "nodes", "edges"}:
+            raise ValidationError(
+                f"feature_mode must be 'both', 'nodes' or 'edges', got {feature_mode!r}"
+            )
+        self.feature_mode = feature_mode
+        self.lambda_threshold = check_probability(lambda_threshold, "lambda_threshold")
+        self.gamma_threshold = check_probability(gamma_threshold, "gamma_threshold")
+        self.random_state = random_state
+
+        self.result_: Optional[KGraphResult] = None
+        self.labels_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def _resolve_lengths(self, series_length: int) -> List[int]:
+        if self.lengths is not None:
+            resolved = sorted({int(v) for v in self.lengths if 2 <= v < series_length})
+            if not resolved:
+                raise ValidationError(
+                    "none of the requested subsequence lengths is valid for series of "
+                    f"length {series_length}"
+                )
+            return resolved
+        return length_grid(series_length, self.n_lengths)
+
+    def fit(self, data) -> "KGraph":
+        """Run the full k-Graph pipeline on ``data`` (n_series x length)."""
+        array = check_time_series_dataset(data, min_series=self.n_clusters)
+        rng = check_random_state(self.random_state)
+        watch = Stopwatch()
+
+        lengths = self._resolve_lengths(array.shape[1])
+        child_rngs = spawn_rng(rng, len(lengths) + 1)
+        consensus_rng, per_length_rngs = child_rngs[0], child_rngs[1:]
+
+        graphs: Dict[int, TimeSeriesGraph] = {}
+        partitions: List[GraphPartition] = []
+        for length, length_rng in zip(lengths, per_length_rngs):
+            with watch.section("graph_embedding"):
+                embedding = GraphEmbedding(
+                    length,
+                    stride=self.stride,
+                    n_sectors=self.n_sectors,
+                    random_state=length_rng,
+                )
+                graph = embedding.fit(array)
+            graphs[length] = graph
+            with watch.section("graph_clustering"):
+                partitions.append(
+                    cluster_graph(
+                        graph,
+                        self.n_clusters,
+                        feature_mode=self.feature_mode,
+                        random_state=length_rng,
+                    )
+                )
+
+        with watch.section("consensus_clustering"):
+            labels, consensus = consensus_clustering(
+                [partition.labels for partition in partitions],
+                self.n_clusters,
+                random_state=consensus_rng,
+            )
+
+        with watch.section("interpretability"):
+            scores = interpretability_scores(graphs, partitions, labels)
+            optimal_length = select_optimal_length(scores)
+            optimal_graph = graphs[optimal_length]
+            lambda_graphoids = {
+                int(cluster): extract_lambda_graphoid(
+                    optimal_graph, labels, int(cluster), self.lambda_threshold
+                )
+                for cluster in np.unique(labels)
+            }
+            gamma_graphoids = {
+                int(cluster): extract_gamma_graphoid(
+                    optimal_graph, labels, int(cluster), self.gamma_threshold
+                )
+                for cluster in np.unique(labels)
+            }
+
+        self.result_ = KGraphResult(
+            labels=labels,
+            graphs=graphs,
+            partitions=partitions,
+            consensus_matrix=consensus,
+            length_scores=scores,
+            optimal_length=optimal_length,
+            lambda_graphoids=lambda_graphoids,
+            gamma_graphoids=gamma_graphoids,
+            timings=watch.totals(),
+        )
+        self.labels_ = labels
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Fit the pipeline and return the final labels."""
+        return self.fit(data).labels_
+
+    def predict(self, data) -> np.ndarray:
+        """Assign new series to the fitted clusters (out-of-sample).
+
+        Each new series is placed on the selected graph G_{¯ℓ} by assigning its
+        z-normalised subsequences to the nearest node pattern, producing the
+        same normalised node-visit profile the graph-clustering step uses for
+        the training series.  The series is then assigned to the cluster whose
+        average training profile is closest (Euclidean).
+
+        This mirrors how the Graph frame overlays a new series' trajectory on
+        the displayed graph, and gives k-Graph a standard estimator-style
+        ``predict`` without refitting.
+        """
+        self._check_fitted()
+        array = check_time_series_dataset(data, min_series=1)
+        graph = self.result_.optimal_graph
+        labels = self.result_.labels
+        length = graph.length
+        if array.shape[1] <= length:
+            raise ValidationError(
+                f"series of length {array.shape[1]} are too short for the selected "
+                f"subsequence length {length}"
+            )
+
+        nodes = graph.nodes()
+        patterns = np.vstack([
+            # Node patterns are stored as mean z-normalised subsequences.
+            graph.node_pattern(node) for node in nodes
+        ])
+        training_profiles = graph.node_feature_matrix(normalize=True)
+        clusters = np.unique(labels)
+        centroids = np.vstack([
+            training_profiles[labels == cluster].mean(axis=0) for cluster in clusters
+        ])
+
+        from repro.utils.normalization import znormalize_dataset
+        from repro.utils.windows import sliding_window_matrix
+
+        predictions = np.empty(array.shape[0], dtype=int)
+        for index, series in enumerate(array):
+            windows = sliding_window_matrix(series, length, self.stride)
+            windows = znormalize_dataset(windows)
+            distances = (
+                np.sum(windows**2, axis=1)[:, None]
+                - 2.0 * windows @ patterns.T
+                + np.sum(patterns**2, axis=1)[None, :]
+            )
+            assignments = np.argmin(distances, axis=1)
+            profile = np.bincount(assignments, minlength=len(nodes)).astype(float)
+            total = profile.sum()
+            if total > 0:
+                profile /= total
+            nearest = int(np.argmin(np.linalg.norm(centroids - profile, axis=1)))
+            predictions[index] = int(clusters[nearest])
+        return predictions
+
+    # ------------------------------------------------------------------ #
+    def _check_fitted(self) -> None:
+        if self.result_ is None:
+            raise NotFittedError("KGraph instance is not fitted yet; call fit() first")
+
+    @property
+    def optimal_length_(self) -> int:
+        """Selected subsequence length ¯ℓ."""
+        self._check_fitted()
+        return self.result_.optimal_length
+
+    @property
+    def optimal_graph_(self) -> TimeSeriesGraph:
+        """Graph associated with the selected length."""
+        self._check_fitted()
+        return self.result_.optimal_graph
+
+    @property
+    def consensus_matrix_(self) -> np.ndarray:
+        """Co-association matrix M_C."""
+        self._check_fitted()
+        return self.result_.consensus_matrix
+
+    @property
+    def length_scores_(self) -> List[LengthScore]:
+        """W_c / W_e scores per candidate length."""
+        self._check_fitted()
+        return self.result_.length_scores
+
+    def graphoids(self, kind: str = "gamma") -> Dict[int, Graphoid]:
+        """Graphoids of the fitted clustering (``kind`` is 'lambda' or 'gamma')."""
+        self._check_fitted()
+        if kind == "lambda":
+            return dict(self.result_.lambda_graphoids)
+        if kind == "gamma":
+            return dict(self.result_.gamma_graphoids)
+        raise ValidationError(f"kind must be 'lambda' or 'gamma', got {kind!r}")
+
+    def recompute_graphoids(
+        self, lambda_threshold: float, gamma_threshold: float
+    ) -> Dict[str, Dict[int, Graphoid]]:
+        """Re-extract graphoids at new thresholds without refitting.
+
+        This is what the Graph frame's advanced-settings sliders call when the
+        analyst moves λ or γ.
+        """
+        self._check_fitted()
+        lambda_threshold = check_probability(lambda_threshold, "lambda_threshold")
+        gamma_threshold = check_probability(gamma_threshold, "gamma_threshold")
+        graph = self.result_.optimal_graph
+        labels = self.result_.labels
+        clusters = np.unique(labels)
+        return {
+            "lambda": {
+                int(c): extract_lambda_graphoid(graph, labels, int(c), lambda_threshold)
+                for c in clusters
+            },
+            "gamma": {
+                int(c): extract_gamma_graphoid(graph, labels, int(c), gamma_threshold)
+                for c in clusters
+            },
+        }
+
+    def node_statistics(self) -> Dict[int, Dict[str, Dict[int, float]]]:
+        """Per-node representativity and exclusivity on the optimal graph.
+
+        Returns a mapping ``node -> {"representativity": {cluster: value},
+        "exclusivity": {cluster: value}}`` — the histogram the Graph frame
+        shows when the analyst selects a node.
+        """
+        self._check_fitted()
+        graph = self.result_.optimal_graph
+        labels = self.result_.labels
+        representativity = node_representativity(graph, labels)
+        exclusivity = node_exclusivity(graph, labels)
+        statistics: Dict[int, Dict[str, Dict[int, float]]] = {}
+        for node in graph.nodes():
+            statistics[node] = {
+                "representativity": {
+                    int(cluster): representativity[cluster][node] for cluster in representativity
+                },
+                "exclusivity": {
+                    int(cluster): exclusivity[cluster][node] for cluster in exclusivity
+                },
+            }
+        return statistics

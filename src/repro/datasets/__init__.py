@@ -1,0 +1,59 @@
+"""Dataset generation and loading.
+
+The Graphint demo runs on datasets of the UCR archive; that archive is not
+available in this offline environment, so this package provides:
+
+* a registry of **synthetic labelled dataset generators** whose classes are
+  defined by distinct subsequence patterns (exactly the structure the k-Graph
+  embedding is designed to capture), and
+* a loader for the **UCR tab-separated format** so the real archive can be
+  plugged in when available.
+
+Each generator is registered in the catalogue with metadata (type, length,
+number of classes, number of series) because the Benchmark frame filters
+datasets along those dimensions.
+"""
+
+from repro.datasets.synthetic import (
+    make_cylinder_bell_funnel,
+    make_gun_point_like,
+    make_mixed_bag,
+    make_noise_only,
+    make_random_walk_regimes,
+    make_seasonal_mixture,
+    make_shapelet_classes,
+    make_sine_families,
+    make_spiky_patterns,
+    make_trend_classes,
+    make_two_patterns,
+)
+from repro.datasets.catalogue import (
+    DatasetCatalogue,
+    DatasetSpec,
+    default_catalogue,
+    generate_dataset,
+    list_dataset_names,
+)
+from repro.datasets.ucr import load_ucr_dataset, parse_ucr_lines, save_ucr_dataset
+
+__all__ = [
+    "DatasetCatalogue",
+    "DatasetSpec",
+    "default_catalogue",
+    "generate_dataset",
+    "list_dataset_names",
+    "load_ucr_dataset",
+    "make_cylinder_bell_funnel",
+    "make_gun_point_like",
+    "make_mixed_bag",
+    "make_noise_only",
+    "make_random_walk_regimes",
+    "make_seasonal_mixture",
+    "make_shapelet_classes",
+    "make_sine_families",
+    "make_spiky_patterns",
+    "make_trend_classes",
+    "make_two_patterns",
+    "parse_ucr_lines",
+    "save_ucr_dataset",
+]

@@ -1,0 +1,249 @@
+"""Dataset catalogue: the population of datasets the Benchmark frame runs on.
+
+The catalogue mirrors the role of the UCR archive in the paper: a named
+collection of labelled datasets annotated with the attributes the Benchmark
+frame filters on (dataset type, series length, number of classes, number of
+series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.exceptions import DatasetError
+from repro.utils.containers import TimeSeriesDataset
+from repro.datasets import synthetic
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset recipe plus its descriptive attributes."""
+
+    name: str
+    generator: Callable[..., TimeSeriesDataset]
+    dataset_type: str
+    n_series: int
+    length: int
+    n_classes: int
+    description: str = ""
+    default_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def generate(self, random_state=None) -> TimeSeriesDataset:
+        """Materialise the dataset with its default parameters.
+
+        The returned dataset is renamed after the spec (name and type) so that
+        benchmark results and GUI filters always align with the catalogue
+        entry, even when a generator is reused under several names.
+        """
+        kwargs = dict(self.default_kwargs)
+        kwargs.setdefault("n_series", self.n_series)
+        kwargs.setdefault("length", self.length)
+        dataset = self.generator(random_state=random_state, **kwargs)
+        if dataset.n_series != self.n_series or dataset.length != self.length:
+            raise DatasetError(
+                f"generator for {self.name!r} produced shape "
+                f"({dataset.n_series}, {dataset.length}), spec says "
+                f"({self.n_series}, {self.length})"
+            )
+        from dataclasses import replace
+
+        return replace(dataset, name=self.name, dataset_type=self.dataset_type)
+
+
+class DatasetCatalogue:
+    """A registry of :class:`DatasetSpec` addressable by name."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, DatasetSpec] = {}
+
+    def register(self, spec: DatasetSpec) -> None:
+        """Add a spec; names must be unique."""
+        if spec.name in self._specs:
+            raise DatasetError(f"dataset {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> DatasetSpec:
+        """Look a spec up by name."""
+        if name not in self._specs:
+            raise DatasetError(
+                f"unknown dataset {name!r}; available: {sorted(self._specs)}"
+            )
+        return self._specs[name]
+
+    def names(self) -> List[str]:
+        """All registered dataset names, sorted."""
+        return sorted(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[DatasetSpec]:
+        return iter(self._specs[name] for name in self.names())
+
+    def filter(
+        self,
+        *,
+        dataset_type: Optional[str] = None,
+        min_length: Optional[int] = None,
+        max_length: Optional[int] = None,
+        min_classes: Optional[int] = None,
+        max_classes: Optional[int] = None,
+        min_series: Optional[int] = None,
+        max_series: Optional[int] = None,
+    ) -> List[DatasetSpec]:
+        """Filter specs along the Benchmark-frame dimensions."""
+        results = []
+        for spec in self:
+            if dataset_type is not None and spec.dataset_type != dataset_type:
+                continue
+            if min_length is not None and spec.length < min_length:
+                continue
+            if max_length is not None and spec.length > max_length:
+                continue
+            if min_classes is not None and spec.n_classes < min_classes:
+                continue
+            if max_classes is not None and spec.n_classes > max_classes:
+                continue
+            if min_series is not None and spec.n_series < min_series:
+                continue
+            if max_series is not None and spec.n_series > max_series:
+                continue
+            results.append(spec)
+        return results
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One summary dict per spec, for the GUI dataset selector."""
+        return [
+            {
+                "name": spec.name,
+                "type": spec.dataset_type,
+                "n_series": spec.n_series,
+                "length": spec.length,
+                "n_classes": spec.n_classes,
+                "description": spec.description,
+            }
+            for spec in self
+        ]
+
+
+def default_catalogue() -> DatasetCatalogue:
+    """The standard dataset population used by examples, tests and benchmarks."""
+    catalogue = DatasetCatalogue()
+    entries = [
+        DatasetSpec(
+            name="cylinder_bell_funnel",
+            generator=synthetic.make_cylinder_bell_funnel,
+            dataset_type="synthetic-shape",
+            n_series=60,
+            length=128,
+            n_classes=3,
+            description="Plateau vs ramp-up vs ramp-down events at random onsets.",
+        ),
+        DatasetSpec(
+            name="two_patterns",
+            generator=synthetic.make_two_patterns,
+            dataset_type="synthetic-shape",
+            n_series=80,
+            length=128,
+            n_classes=4,
+            description="Four classes defined by the order of an up-step and a down-step.",
+        ),
+        DatasetSpec(
+            name="gun_point_like",
+            generator=synthetic.make_gun_point_like,
+            dataset_type="synthetic-motion",
+            n_series=50,
+            length=150,
+            n_classes=2,
+            description="Motion-capture-like single bump vs bump with dips.",
+        ),
+        DatasetSpec(
+            name="sine_families",
+            generator=synthetic.make_sine_families,
+            dataset_type="synthetic-periodic",
+            n_series=60,
+            length=128,
+            n_classes=3,
+            description="Sinusoids with three distinct frequencies and random phase.",
+        ),
+        DatasetSpec(
+            name="seasonal_mixture",
+            generator=synthetic.make_seasonal_mixture,
+            dataset_type="synthetic-seasonal",
+            n_series=60,
+            length=160,
+            n_classes=3,
+            description="Seasonality vs seasonality+trend vs seasonality+level-shift.",
+        ),
+        DatasetSpec(
+            name="trend_classes",
+            generator=synthetic.make_trend_classes,
+            dataset_type="synthetic-trend",
+            n_series=40,
+            length=96,
+            n_classes=2,
+            description="Upward vs downward trend with AR(1) noise.",
+        ),
+        DatasetSpec(
+            name="random_walk_regimes",
+            generator=synthetic.make_random_walk_regimes,
+            dataset_type="synthetic-stochastic",
+            n_series=60,
+            length=128,
+            n_classes=3,
+            description="Random walks with different drift / volatility regimes.",
+        ),
+        DatasetSpec(
+            name="shapelet_classes",
+            generator=synthetic.make_shapelet_classes,
+            dataset_type="synthetic-shape",
+            n_series=60,
+            length=128,
+            n_classes=3,
+            description="Class-specific shapelets planted at random offsets.",
+        ),
+        DatasetSpec(
+            name="spiky_patterns",
+            generator=synthetic.make_spiky_patterns,
+            dataset_type="synthetic-sensor",
+            n_series=50,
+            length=128,
+            n_classes=2,
+            description="Sparse high spikes vs dense low spikes.",
+        ),
+        DatasetSpec(
+            name="mixed_bag",
+            generator=synthetic.make_mixed_bag,
+            dataset_type="synthetic-mixed",
+            n_series=80,
+            length=128,
+            n_classes=4,
+            description="Plateau / oscillation / ramp / spike-train classes.",
+        ),
+        DatasetSpec(
+            name="noise_only",
+            generator=synthetic.make_noise_only,
+            dataset_type="synthetic-control",
+            n_series=40,
+            length=96,
+            n_classes=2,
+            description="Control dataset with random labels (no structure).",
+        ),
+    ]
+    for spec in entries:
+        catalogue.register(spec)
+    return catalogue
+
+
+def list_dataset_names() -> List[str]:
+    """Names available in the default catalogue."""
+    return default_catalogue().names()
+
+
+def generate_dataset(name: str, random_state=None) -> TimeSeriesDataset:
+    """Generate a dataset from the default catalogue by name."""
+    return default_catalogue().get(name).generate(random_state=random_state)

@@ -1,0 +1,456 @@
+"""Synthetic labelled time series dataset generators.
+
+Each generator returns a :class:`repro.utils.TimeSeriesDataset` whose classes
+differ by the *shape of local subsequences* (pulses, oscillations, plateaus,
+regime switches) rather than by global statistics alone — the same property
+that makes the UCR datasets amenable to k-Graph's subsequence-pattern graph.
+
+All generators take ``n_series`` (total), ``length``, ``noise`` and
+``random_state`` and distribute the series as evenly as possible across
+classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.containers import TimeSeriesDataset
+from repro.utils.validation import check_positive_int, check_random_state
+
+
+def _split_counts(n_series: int, n_classes: int) -> List[int]:
+    """Distribute ``n_series`` across ``n_classes`` as evenly as possible."""
+    if n_series < n_classes:
+        raise DatasetError(
+            f"need at least {n_classes} series to build {n_classes} classes, got {n_series}"
+        )
+    base = n_series // n_classes
+    remainder = n_series % n_classes
+    return [base + (1 if i < remainder else 0) for i in range(n_classes)]
+
+
+def _assemble(
+    name: str,
+    dataset_type: str,
+    per_class_generators: Sequence[Callable[[np.random.Generator], np.ndarray]],
+    n_series: int,
+    length: int,
+    noise: float,
+    random_state,
+    metadata: dict,
+) -> TimeSeriesDataset:
+    """Build a dataset by calling one generator per class and adding noise."""
+    n_series = check_positive_int(n_series, "n_series", minimum=len(per_class_generators))
+    length = check_positive_int(length, "length", minimum=16)
+    if noise < 0:
+        raise DatasetError(f"noise must be non-negative, got {noise}")
+    rng = check_random_state(random_state)
+
+    counts = _split_counts(n_series, len(per_class_generators))
+    rows: List[np.ndarray] = []
+    labels: List[int] = []
+    for class_id, (generator, count) in enumerate(zip(per_class_generators, counts)):
+        for _ in range(count):
+            series = generator(rng)
+            if series.shape[0] != length:
+                raise DatasetError(
+                    f"class generator {class_id} produced length {series.shape[0]}, "
+                    f"expected {length}"
+                )
+            rows.append(series + rng.normal(0.0, noise, size=length))
+            labels.append(class_id)
+    order = rng.permutation(len(rows))
+    data = np.vstack(rows)[order]
+    label_array = np.asarray(labels, dtype=int)[order]
+    info = {"noise": noise, **metadata}
+    return TimeSeriesDataset(
+        data=data, labels=label_array, name=name, dataset_type=dataset_type, metadata=info
+    )
+
+
+# --------------------------------------------------------------------------- #
+# individual pattern primitives
+# --------------------------------------------------------------------------- #
+def _plateau(length: int, start: int, width: int, height: float) -> np.ndarray:
+    series = np.zeros(length)
+    series[start: start + width] = height
+    return series
+
+
+def _ramp(length: int, start: int, width: int, height: float) -> np.ndarray:
+    series = np.zeros(length)
+    series[start: start + width] = np.linspace(0.0, height, width)
+    return series
+
+
+def _bump(length: int, centre: int, width: int, height: float) -> np.ndarray:
+    series = np.zeros(length)
+    positions = np.arange(length)
+    series += height * np.exp(-0.5 * ((positions - centre) / max(width / 2.5, 1.0)) ** 2)
+    return series
+
+
+# --------------------------------------------------------------------------- #
+# generators
+# --------------------------------------------------------------------------- #
+def make_cylinder_bell_funnel(
+    n_series: int = 60, length: int = 128, noise: float = 0.3, random_state=None
+) -> TimeSeriesDataset:
+    """Classic cylinder-bell-funnel three-class benchmark.
+
+    Cylinder: flat plateau; bell: linearly increasing ramp ending abruptly;
+    funnel: abrupt start decaying linearly.  Onset and duration are random,
+    so raw-alignment methods struggle while subsequence-pattern methods thrive.
+    """
+
+    def random_window(rng: np.random.Generator) -> Tuple[int, int]:
+        onset = int(rng.integers(length // 8, length // 2))
+        duration = int(rng.integers(length // 4, length // 2))
+        duration = min(duration, length - onset - 1)
+        return onset, max(duration, length // 8)
+
+    def cylinder(rng: np.random.Generator) -> np.ndarray:
+        onset, duration = random_window(rng)
+        amplitude = rng.uniform(4.0, 7.0)
+        return _plateau(length, onset, duration, amplitude)
+
+    def bell(rng: np.random.Generator) -> np.ndarray:
+        onset, duration = random_window(rng)
+        amplitude = rng.uniform(4.0, 7.0)
+        return _ramp(length, onset, duration, amplitude)
+
+    def funnel(rng: np.random.Generator) -> np.ndarray:
+        onset, duration = random_window(rng)
+        amplitude = rng.uniform(4.0, 7.0)
+        series = np.zeros(length)
+        series[onset: onset + duration] = np.linspace(amplitude, 0.0, duration)
+        return series
+
+    return _assemble(
+        "cylinder_bell_funnel",
+        "synthetic-shape",
+        [cylinder, bell, funnel],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["cylinder", "bell", "funnel"]},
+    )
+
+
+def make_two_patterns(
+    n_series: int = 80, length: int = 128, noise: float = 0.2, random_state=None
+) -> TimeSeriesDataset:
+    """Four classes defined by the order of an up-step and a down-step."""
+
+    def step(direction: float, position: int, width: int) -> np.ndarray:
+        series = np.zeros(length)
+        series[position: position + width] = direction
+        return series
+
+    def make_class(first: float, second: float):
+        def generator(rng: np.random.Generator) -> np.ndarray:
+            width = max(4, length // 16)
+            first_pos = int(rng.integers(length // 10, length // 2 - width))
+            second_pos = int(rng.integers(length // 2, length - width - 1))
+            return 3.0 * (step(first, first_pos, width) + step(second, second_pos, width))
+
+        return generator
+
+    generators = [
+        make_class(1.0, 1.0),
+        make_class(1.0, -1.0),
+        make_class(-1.0, 1.0),
+        make_class(-1.0, -1.0),
+    ]
+    return _assemble(
+        "two_patterns",
+        "synthetic-shape",
+        generators,
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["up-up", "up-down", "down-up", "down-down"]},
+    )
+
+
+def make_gun_point_like(
+    n_series: int = 50, length: int = 150, noise: float = 0.15, random_state=None
+) -> TimeSeriesDataset:
+    """Two classes mimicking the GunPoint motion capture benchmark.
+
+    Class 0 ("gun") has a pronounced dip before and after the central bump
+    (drawing and re-holstering); class 1 ("point") is a smooth single bump.
+    """
+
+    def gun(rng: np.random.Generator) -> np.ndarray:
+        centre = length // 2 + int(rng.integers(-length // 10, length // 10))
+        width = length // 4
+        series = _bump(length, centre, width, rng.uniform(3.5, 4.5))
+        series -= _bump(length, centre - width, width // 2, rng.uniform(1.0, 1.6))
+        series -= _bump(length, centre + width, width // 2, rng.uniform(1.0, 1.6))
+        return series
+
+    def point(rng: np.random.Generator) -> np.ndarray:
+        centre = length // 2 + int(rng.integers(-length // 10, length // 10))
+        width = length // 3
+        return _bump(length, centre, width, rng.uniform(3.5, 4.5))
+
+    return _assemble(
+        "gun_point_like",
+        "synthetic-motion",
+        [gun, point],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["gun", "point"]},
+    )
+
+
+def make_sine_families(
+    n_series: int = 60,
+    length: int = 128,
+    noise: float = 0.25,
+    n_classes: int = 3,
+    random_state=None,
+) -> TimeSeriesDataset:
+    """Classes are sinusoids with distinct frequencies and random phases."""
+    n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+
+    def make_class(frequency: float):
+        def generator(rng: np.random.Generator) -> np.ndarray:
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            amplitude = rng.uniform(1.5, 2.5)
+            t = np.linspace(0.0, 2.0 * np.pi, length)
+            return amplitude * np.sin(frequency * t + phase)
+
+        return generator
+
+    frequencies = [2.0 + 3.0 * i for i in range(n_classes)]
+    return _assemble(
+        "sine_families",
+        "synthetic-periodic",
+        [make_class(f) for f in frequencies],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"frequencies": frequencies},
+    )
+
+
+def make_seasonal_mixture(
+    n_series: int = 60, length: int = 160, noise: float = 0.3, random_state=None
+) -> TimeSeriesDataset:
+    """Three classes: pure seasonality, seasonality + trend, seasonality + level shifts."""
+
+    def seasonal(rng: np.random.Generator) -> np.ndarray:
+        t = np.linspace(0.0, 4.0 * np.pi, length)
+        return 2.0 * np.sin(t * rng.uniform(1.8, 2.2))
+
+    def seasonal_trend(rng: np.random.Generator) -> np.ndarray:
+        t = np.linspace(0.0, 4.0 * np.pi, length)
+        slope = rng.uniform(1.5, 2.5)
+        return 2.0 * np.sin(t * rng.uniform(1.8, 2.2)) + np.linspace(0.0, slope * 2.0, length)
+
+    def seasonal_shift(rng: np.random.Generator) -> np.ndarray:
+        t = np.linspace(0.0, 4.0 * np.pi, length)
+        series = 2.0 * np.sin(t * rng.uniform(1.8, 2.2))
+        shift_at = int(rng.integers(length // 3, 2 * length // 3))
+        series[shift_at:] += rng.uniform(2.5, 3.5)
+        return series
+
+    return _assemble(
+        "seasonal_mixture",
+        "synthetic-seasonal",
+        [seasonal, seasonal_trend, seasonal_shift],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["seasonal", "seasonal+trend", "seasonal+shift"]},
+    )
+
+
+def make_trend_classes(
+    n_series: int = 40, length: int = 96, noise: float = 0.3, random_state=None
+) -> TimeSeriesDataset:
+    """Two classes separated by trend direction (up vs down) with AR(1) noise."""
+
+    def make_class(direction: float):
+        def generator(rng: np.random.Generator) -> np.ndarray:
+            slope = direction * rng.uniform(2.0, 3.0)
+            ar = np.zeros(length)
+            for i in range(1, length):
+                ar[i] = 0.6 * ar[i - 1] + rng.normal(0.0, 0.3)
+            return np.linspace(0.0, slope, length) + ar
+
+        return generator
+
+    return _assemble(
+        "trend_classes",
+        "synthetic-trend",
+        [make_class(1.0), make_class(-1.0)],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["up", "down"]},
+    )
+
+
+def make_random_walk_regimes(
+    n_series: int = 60, length: int = 128, noise: float = 0.1, random_state=None
+) -> TimeSeriesDataset:
+    """Three classes of random walks with different volatility / drift regimes."""
+
+    def walk(drift: float, volatility: float):
+        def generator(rng: np.random.Generator) -> np.ndarray:
+            steps = rng.normal(drift, volatility, size=length)
+            return np.cumsum(steps)
+
+        return generator
+
+    return _assemble(
+        "random_walk_regimes",
+        "synthetic-stochastic",
+        [walk(0.0, 0.2), walk(0.15, 0.2), walk(0.0, 0.9)],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["flat-low-vol", "drift", "high-vol"]},
+    )
+
+
+def make_shapelet_classes(
+    n_series: int = 60,
+    length: int = 128,
+    noise: float = 0.3,
+    n_classes: int = 3,
+    random_state=None,
+) -> TimeSeriesDataset:
+    """Each class is defined by a planted class-specific shapelet at a random offset."""
+    n_classes = check_positive_int(n_classes, "n_classes", minimum=2)
+    shapelet_length = max(8, length // 8)
+
+    def make_class(class_id: int):
+        # Deterministic shapelet per class (independent of the noise RNG).
+        shapelet_rng = np.random.default_rng(1_000 + class_id)
+        shapelet = np.cumsum(shapelet_rng.normal(0.0, 1.0, size=shapelet_length))
+        shapelet = 3.0 * (shapelet - shapelet.mean()) / (shapelet.std() + 1e-12)
+
+        def generator(rng: np.random.Generator) -> np.ndarray:
+            series = rng.normal(0.0, 0.2, size=length)
+            offset = int(rng.integers(0, length - shapelet_length))
+            series[offset: offset + shapelet_length] += shapelet
+            return series
+
+        return generator
+
+    return _assemble(
+        "shapelet_classes",
+        "synthetic-shape",
+        [make_class(i) for i in range(n_classes)],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"shapelet_length": shapelet_length},
+    )
+
+
+def make_spiky_patterns(
+    n_series: int = 50, length: int = 128, noise: float = 0.2, random_state=None
+) -> TimeSeriesDataset:
+    """Two classes: sparse positive spikes vs dense low spikes (sensor-like)."""
+
+    def sparse(rng: np.random.Generator) -> np.ndarray:
+        series = np.zeros(length)
+        for _ in range(int(rng.integers(2, 4))):
+            series += _bump(length, int(rng.integers(5, length - 5)), 4, rng.uniform(4.0, 6.0))
+        return series
+
+    def dense(rng: np.random.Generator) -> np.ndarray:
+        series = np.zeros(length)
+        for _ in range(int(rng.integers(8, 14))):
+            series += _bump(length, int(rng.integers(5, length - 5)), 4, rng.uniform(1.0, 2.0))
+        return series
+
+    return _assemble(
+        "spiky_patterns",
+        "synthetic-sensor",
+        [sparse, dense],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["sparse-high", "dense-low"]},
+    )
+
+
+def make_noise_only(
+    n_series: int = 40, length: int = 96, noise: float = 1.0, random_state=None
+) -> TimeSeriesDataset:
+    """A control dataset with no class structure (labels are random).
+
+    Useful for sanity checks: every clustering method should score an ARI
+    close to zero here, and the benchmark harness asserts that k-Graph does
+    not hallucinate structure.
+    """
+    rng = check_random_state(random_state)
+
+    def white(rng_inner: np.random.Generator) -> np.ndarray:
+        return rng_inner.normal(0.0, 1.0, size=length)
+
+    dataset = _assemble(
+        "noise_only",
+        "synthetic-control",
+        [white, white],
+        n_series,
+        length,
+        noise,
+        rng,
+        {"control": True},
+    )
+    # Shuffle the labels so they carry no information at all.
+    shuffled = check_random_state(rng).permutation(dataset.labels)
+    return dataset.with_labels(shuffled)
+
+
+def make_mixed_bag(
+    n_series: int = 80, length: int = 128, noise: float = 0.25, random_state=None
+) -> TimeSeriesDataset:
+    """Four heterogeneous classes (plateau, oscillation, ramp, spike train)."""
+
+    def plateau(rng: np.random.Generator) -> np.ndarray:
+        return _plateau(length, int(rng.integers(10, length // 2)), length // 4, rng.uniform(3, 5))
+
+    def oscillation(rng: np.random.Generator) -> np.ndarray:
+        t = np.linspace(0.0, 6.0 * np.pi, length)
+        return 2.0 * np.sin(t + rng.uniform(0, 2 * np.pi))
+
+    def ramp(rng: np.random.Generator) -> np.ndarray:
+        return np.linspace(0.0, rng.uniform(3.0, 5.0), length)
+
+    def spikes(rng: np.random.Generator) -> np.ndarray:
+        series = np.zeros(length)
+        for _ in range(5):
+            series += _bump(length, int(rng.integers(5, length - 5)), 3, rng.uniform(2.5, 4.0))
+        return series
+
+    return _assemble(
+        "mixed_bag",
+        "synthetic-mixed",
+        [plateau, oscillation, ramp, spikes],
+        n_series,
+        length,
+        noise,
+        random_state,
+        {"classes": ["plateau", "oscillation", "ramp", "spikes"]},
+    )

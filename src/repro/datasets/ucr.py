@@ -1,0 +1,128 @@
+"""Loader and writer for the UCR archive tab/comma-separated format.
+
+Each line of a UCR file is ``<label> <v1> <v2> ... <vn>`` separated by tabs,
+commas or whitespace.  The loader returns a
+:class:`repro.utils.TimeSeriesDataset`; the writer produces files the loader
+round-trips, which is how the tests exercise this module without the real
+archive.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.containers import TimeSeriesDataset
+
+
+def parse_ucr_lines(lines: Iterable[str], name: str = "ucr") -> TimeSeriesDataset:
+    """Parse UCR-format lines into a dataset.
+
+    Lines may be tab-, comma- or whitespace-separated; blank lines are
+    skipped.  All series must have the same length; shorter series raise a
+    :class:`~repro.exceptions.DatasetError`.
+    """
+    labels: List[float] = []
+    rows: List[np.ndarray] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if "\t" in line:
+            parts = line.split("\t")
+        elif "," in line:
+            parts = line.split(",")
+        else:
+            parts = line.split()
+        if len(parts) < 4:
+            raise DatasetError(
+                f"line {line_number}: expected a label plus at least 3 values, got {len(parts)} fields"
+            )
+        try:
+            values = np.array([float(p) for p in parts], dtype=float)
+        except ValueError as exc:
+            raise DatasetError(f"line {line_number}: non-numeric value ({exc})") from exc
+        labels.append(values[0])
+        rows.append(values[1:])
+
+    if not rows:
+        raise DatasetError("no series found in the input")
+    lengths = {row.shape[0] for row in rows}
+    if len(lengths) != 1:
+        raise DatasetError(
+            f"series have inconsistent lengths: {sorted(lengths)}; "
+            "the loader only supports equal-length UCR datasets"
+        )
+    data = np.vstack(rows)
+    label_array = np.asarray(labels)
+    return TimeSeriesDataset(
+        data=data,
+        labels=label_array,
+        name=name,
+        dataset_type="ucr",
+        metadata={"source": "ucr-format"},
+    )
+
+
+def load_ucr_dataset(
+    path: Union[str, Path],
+    *,
+    test_path: Optional[Union[str, Path]] = None,
+    name: Optional[str] = None,
+) -> TimeSeriesDataset:
+    """Load a UCR-format file (optionally concatenating the TEST split).
+
+    The Graphint tool clusters the union of train and test splits, as is
+    standard for unsupervised evaluation on the UCR archive.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"dataset file not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        dataset = parse_ucr_lines(handle, name=name or path.stem)
+
+    if test_path is not None:
+        test_path = Path(test_path)
+        if not test_path.exists():
+            raise DatasetError(f"test split file not found: {test_path}")
+        with test_path.open("r", encoding="utf-8") as handle:
+            test_dataset = parse_ucr_lines(handle, name=dataset.name)
+        if test_dataset.length != dataset.length:
+            raise DatasetError(
+                "train and test splits have different series lengths: "
+                f"{dataset.length} vs {test_dataset.length}"
+            )
+        data = np.vstack([dataset.data, test_dataset.data])
+        labels = np.concatenate([dataset.labels, test_dataset.labels])
+        dataset = TimeSeriesDataset(
+            data=data,
+            labels=labels,
+            name=dataset.name,
+            dataset_type="ucr",
+            metadata={"source": "ucr-format", "splits": "train+test"},
+        )
+    return dataset
+
+
+def save_ucr_dataset(
+    dataset: TimeSeriesDataset,
+    path: Union[str, Path],
+    *,
+    delimiter: str = "\t",
+    float_format: str = "%.6f",
+) -> Path:
+    """Write ``dataset`` in UCR format; returns the written path."""
+    if dataset.labels is None:
+        raise DatasetError("cannot save a dataset without labels in UCR format")
+    if delimiter not in {"\t", ","}:
+        raise DatasetError(f"delimiter must be tab or comma, got {delimiter!r}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for label, row in zip(dataset.labels, dataset.data):
+            fields = [str(int(label))] + [float_format % value for value in row]
+            handle.write(delimiter.join(fields) + "\n")
+    return path

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library-specific failures with a
+single ``except`` clause while still letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters are invalid."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model method requiring a prior ``fit`` is called too early."""
+
+
+class ConvergenceWarningError(ReproError, RuntimeError):
+    """Raised when an iterative solver cannot make progress at all.
+
+    Most solvers in this library return their best effort instead of raising;
+    this error is reserved for situations where no usable result exists
+    (for example an empty eigen-decomposition).
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """Raised when a dataset cannot be generated, loaded, or parsed."""
+
+
+class GraphConstructionError(ReproError, RuntimeError):
+    """Raised when the graph embedding cannot be built for a dataset."""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """Raised when a benchmark run is misconfigured or produced no results."""
+
+
+class VisualizationError(ReproError, RuntimeError):
+    """Raised when a frame or dashboard cannot be rendered."""

@@ -1,0 +1,41 @@
+"""Statistical / temporal feature extraction for feature-based baselines.
+
+FeatTS and Time2Feat (cited in the paper's introduction as feature-based
+competitors) cluster time series after turning each series into a vector of
+descriptive features.  This package provides the feature bank, matrix
+extraction, and a simple variance/correlation-based feature selector used by
+those baselines in the Benchmark frame.
+"""
+
+from repro.features.bank import (
+    FEATURE_NAMES,
+    autocorrelation,
+    binned_entropy,
+    count_above_mean,
+    crossing_points,
+    extract_features,
+    feature_vector,
+    longest_strike_above_mean,
+    number_of_peaks,
+    seasonality_strength,
+    spectral_centroid,
+    trend_strength,
+)
+from repro.features.selection import select_features, variance_ranking
+
+__all__ = [
+    "FEATURE_NAMES",
+    "autocorrelation",
+    "binned_entropy",
+    "count_above_mean",
+    "crossing_points",
+    "extract_features",
+    "feature_vector",
+    "longest_strike_above_mean",
+    "number_of_peaks",
+    "seasonality_strength",
+    "select_features",
+    "spectral_centroid",
+    "trend_strength",
+    "variance_ranking",
+]

@@ -1,0 +1,252 @@
+"""A bank of per-series statistical and temporal features.
+
+The selection mirrors the kind of catch22/tsfresh descriptors FeatTS and
+Time2Feat rely on: moments, autocorrelation structure, entropy, peaks,
+crossings, strike lengths, spectral and trend/seasonality summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.normalization import znormalize
+from repro.utils.validation import check_array, check_positive_int
+
+
+def autocorrelation(series, lag: int = 1) -> float:
+    """Sample autocorrelation of ``series`` at ``lag``."""
+    array = check_array(series, name="series", ndim=1, min_rows=2)
+    lag = check_positive_int(lag, "lag")
+    if lag >= array.shape[0]:
+        return 0.0
+    centered = array - array.mean()
+    denominator = float(np.sum(centered**2))
+    if denominator < 1e-12:
+        return 0.0
+    numerator = float(np.sum(centered[:-lag] * centered[lag:]))
+    return numerator / denominator
+
+
+def partial_autocorrelation(series, lag: int = 2) -> float:
+    """Partial autocorrelation at ``lag`` via Durbin-Levinson recursion."""
+    array = check_array(series, name="series", ndim=1, min_rows=3)
+    lag = check_positive_int(lag, "lag")
+    lag = min(lag, array.shape[0] - 2)
+    rho = np.array([autocorrelation(array, k) for k in range(1, lag + 1)])
+    phi = np.zeros((lag + 1, lag + 1))
+    phi[1, 1] = rho[0]
+    for k in range(2, lag + 1):
+        numerator = rho[k - 1] - np.sum(phi[k - 1, 1:k] * rho[k - 2::-1][: k - 1])
+        denominator = 1.0 - np.sum(phi[k - 1, 1:k] * rho[: k - 1])
+        phi[k, k] = numerator / denominator if abs(denominator) > 1e-12 else 0.0
+        for j in range(1, k):
+            phi[k, j] = phi[k - 1, j] - phi[k, k] * phi[k - 1, k - j]
+    return float(phi[lag, lag])
+
+
+def crossing_points(series) -> int:
+    """Number of times the series crosses its own mean."""
+    array = check_array(series, name="series", ndim=1, min_rows=2)
+    above = array > array.mean()
+    return int(np.sum(above[1:] != above[:-1]))
+
+
+def count_above_mean(series) -> int:
+    """Number of points strictly above the series mean."""
+    array = check_array(series, name="series", ndim=1, min_rows=1)
+    return int(np.sum(array > array.mean()))
+
+
+def longest_strike_above_mean(series) -> int:
+    """Length of the longest consecutive run above the mean."""
+    array = check_array(series, name="series", ndim=1, min_rows=1)
+    above = array > array.mean()
+    best = current = 0
+    for flag in above:
+        current = current + 1 if flag else 0
+        best = max(best, current)
+    return int(best)
+
+
+def number_of_peaks(series, support: int = 1) -> int:
+    """Number of local maxima with ``support`` smaller neighbours on each side."""
+    array = check_array(series, name="series", ndim=1, min_rows=1)
+    support = check_positive_int(support, "support")
+    n = array.shape[0]
+    count = 0
+    for i in range(support, n - support):
+        left = array[i - support: i]
+        right = array[i + 1: i + 1 + support]
+        if np.all(array[i] > left) and np.all(array[i] > right):
+            count += 1
+    return count
+
+
+def binned_entropy(series, n_bins: int = 10) -> float:
+    """Shannon entropy of the histogram of values (nats)."""
+    array = check_array(series, name="series", ndim=1, min_rows=1)
+    n_bins = check_positive_int(n_bins, "n_bins", minimum=2)
+    counts, _ = np.histogram(array, bins=n_bins)
+    probabilities = counts[counts > 0] / counts.sum()
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def spectral_centroid(series) -> float:
+    """Centre of mass of the power spectrum, normalised to [0, 1]."""
+    array = znormalize(check_array(series, name="series", ndim=1, min_rows=4))
+    spectrum = np.abs(np.fft.rfft(array)) ** 2
+    spectrum = spectrum[1:]  # drop DC
+    if spectrum.sum() < 1e-12:
+        return 0.0
+    frequencies = np.arange(1, spectrum.shape[0] + 1)
+    centroid = float(np.sum(frequencies * spectrum) / spectrum.sum())
+    return centroid / spectrum.shape[0]
+
+
+def dominant_frequency(series) -> float:
+    """Normalised position of the strongest non-DC spectral component."""
+    array = znormalize(check_array(series, name="series", ndim=1, min_rows=4))
+    spectrum = np.abs(np.fft.rfft(array)) ** 2
+    if spectrum.shape[0] <= 1:
+        return 0.0
+    idx = int(np.argmax(spectrum[1:])) + 1
+    return idx / spectrum.shape[0]
+
+
+def _moving_average(array: np.ndarray, window: int) -> np.ndarray:
+    window = max(2, min(window, array.shape[0]))
+    kernel = np.ones(window) / window
+    return np.convolve(array, kernel, mode="same")
+
+
+def trend_strength(series) -> float:
+    """Strength of trend: 1 - Var(detrended) / Var(series), clipped to [0, 1]."""
+    array = check_array(series, name="series", ndim=1, min_rows=4)
+    trend = _moving_average(array, max(array.shape[0] // 10, 3))
+    detrended = array - trend
+    var_series = float(np.var(array))
+    if var_series < 1e-12:
+        return 0.0
+    return float(np.clip(1.0 - np.var(detrended) / var_series, 0.0, 1.0))
+
+
+def seasonality_strength(series, period: int = 0) -> float:
+    """Strength of seasonality via the max autocorrelation over candidate lags."""
+    array = check_array(series, name="series", ndim=1, min_rows=8)
+    n = array.shape[0]
+    if period and period < n // 2:
+        lags = [period]
+    else:
+        lags = list(range(2, max(3, n // 4)))
+    values = [autocorrelation(array, lag) for lag in lags]
+    return float(np.clip(max(values) if values else 0.0, 0.0, 1.0))
+
+
+def mean_absolute_change(series) -> float:
+    """Mean absolute first difference."""
+    array = check_array(series, name="series", ndim=1, min_rows=2)
+    return float(np.mean(np.abs(np.diff(array))))
+
+
+def complexity_estimate(series) -> float:
+    """CID complexity estimate: sqrt of the sum of squared first differences."""
+    array = znormalize(check_array(series, name="series", ndim=1, min_rows=2))
+    return float(np.sqrt(np.sum(np.diff(array) ** 2)))
+
+
+#: Ordered names of the features produced by :func:`feature_vector`.
+FEATURE_NAMES: List[str] = [
+    "mean",
+    "std",
+    "skewness",
+    "kurtosis",
+    "min",
+    "max",
+    "median",
+    "iqr",
+    "acf_1",
+    "acf_2",
+    "acf_5",
+    "pacf_2",
+    "crossing_points",
+    "count_above_mean",
+    "longest_strike_above_mean",
+    "n_peaks",
+    "binned_entropy",
+    "spectral_centroid",
+    "dominant_frequency",
+    "trend_strength",
+    "seasonality_strength",
+    "mean_abs_change",
+    "complexity",
+]
+
+
+def _skewness(array: np.ndarray) -> float:
+    std = float(array.std())
+    if std < 1e-12:
+        return 0.0
+    return float(np.mean(((array - array.mean()) / std) ** 3))
+
+
+def _kurtosis(array: np.ndarray) -> float:
+    std = float(array.std())
+    if std < 1e-12:
+        return 0.0
+    return float(np.mean(((array - array.mean()) / std) ** 4) - 3.0)
+
+
+def feature_vector(series) -> Dict[str, float]:
+    """Compute the full feature dictionary for one series."""
+    array = check_array(series, name="series", ndim=1, min_rows=8)
+    q75, q25 = np.percentile(array, [75, 25])
+    values = {
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "skewness": _skewness(array),
+        "kurtosis": _kurtosis(array),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "median": float(np.median(array)),
+        "iqr": float(q75 - q25),
+        "acf_1": autocorrelation(array, 1),
+        "acf_2": autocorrelation(array, 2),
+        "acf_5": autocorrelation(array, min(5, array.shape[0] - 1)),
+        "pacf_2": partial_autocorrelation(array, 2),
+        "crossing_points": float(crossing_points(array)),
+        "count_above_mean": float(count_above_mean(array)),
+        "longest_strike_above_mean": float(longest_strike_above_mean(array)),
+        "n_peaks": float(number_of_peaks(array, support=2)),
+        "binned_entropy": binned_entropy(array),
+        "spectral_centroid": spectral_centroid(array),
+        "dominant_frequency": dominant_frequency(array),
+        "trend_strength": trend_strength(array),
+        "seasonality_strength": seasonality_strength(array),
+        "mean_abs_change": mean_absolute_change(array),
+        "complexity": complexity_estimate(array),
+    }
+    missing = set(FEATURE_NAMES) - set(values)
+    if missing:
+        raise ValidationError(f"feature_vector is missing features: {sorted(missing)}")
+    return values
+
+
+def extract_features(data, standardize: bool = True) -> np.ndarray:
+    """Feature matrix (n_series, n_features) for a dataset of series.
+
+    When ``standardize`` is true, columns are z-scored so no single feature
+    dominates the Euclidean geometry of the downstream clustering.
+    """
+    array = check_array(data, name="data", ndim=2, min_rows=1)
+    rows = [feature_vector(series) for series in array]
+    matrix = np.array([[row[name] for name in FEATURE_NAMES] for row in rows])
+    matrix = np.nan_to_num(matrix, nan=0.0, posinf=0.0, neginf=0.0)
+    if standardize:
+        means = matrix.mean(axis=0)
+        stds = matrix.std(axis=0)
+        stds = np.where(stds < 1e-12, 1.0, stds)
+        matrix = (matrix - means) / stds
+    return matrix

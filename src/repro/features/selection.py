@@ -1,0 +1,72 @@
+"""Unsupervised feature selection used by the feature-based baselines.
+
+FeatTS selects a subset of discriminative features before clustering; without
+labels we approximate this with a variance ranking followed by a redundancy
+(correlation) filter, a standard unsupervised proxy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive_int
+
+
+def variance_ranking(matrix) -> np.ndarray:
+    """Return feature indices sorted by decreasing variance."""
+    array = check_array(matrix, name="matrix", ndim=2, min_rows=2)
+    variances = array.var(axis=0)
+    return np.argsort(variances)[::-1]
+
+
+def select_features(
+    matrix,
+    n_features: int,
+    *,
+    correlation_threshold: float = 0.95,
+    feature_names: Optional[Sequence[str]] = None,
+) -> Tuple[np.ndarray, List[int]]:
+    """Select up to ``n_features`` high-variance, low-redundancy columns.
+
+    Returns the reduced matrix and the list of selected column indices (or
+    names when ``feature_names`` is given the indices still refer to columns).
+    Features are visited in decreasing variance order and kept only when their
+    absolute Pearson correlation with every already-kept feature is below
+    ``correlation_threshold``.
+    """
+    array = check_array(matrix, name="matrix", ndim=2, min_rows=2)
+    n_features = check_positive_int(n_features, "n_features")
+    if not 0.0 < correlation_threshold <= 1.0:
+        raise ValidationError(
+            f"correlation_threshold must be in (0, 1], got {correlation_threshold}"
+        )
+    if feature_names is not None and len(feature_names) != array.shape[1]:
+        raise ValidationError("feature_names length does not match the number of columns")
+
+    order = variance_ranking(array)
+    selected: List[int] = []
+    for idx in order:
+        if len(selected) >= n_features:
+            break
+        column = array[:, idx]
+        if column.std() < 1e-12:
+            continue
+        redundant = False
+        for kept in selected:
+            other = array[:, kept]
+            if other.std() < 1e-12:
+                continue
+            correlation = float(np.corrcoef(column, other)[0, 1])
+            if abs(correlation) >= correlation_threshold:
+                redundant = True
+                break
+        if not redundant:
+            selected.append(int(idx))
+
+    if not selected:
+        # Degenerate case: all columns constant or perfectly correlated.
+        selected = [int(order[0])]
+    return array[:, selected], selected

@@ -1,0 +1,254 @@
+"""Graphoids: cluster-specific subgraphs with representativity / exclusivity.
+
+Definitions (Section II of the paper):
+
+* **Representativity** of a node N for cluster C_i, written ``|N|_{C_i}``:
+  the proportion of time series *of the cluster* that pass through the node,
+  i.e. ``|{T in C_i : T crosses N}| / |C_i|``.
+* **Exclusivity** of a node N for cluster C_i, written ``Pr_{C_i}(N)``:
+  the proportion of the series *crossing the node* that belong to the
+  cluster, i.e. ``|{T in C_i : T crosses N}| / |{T in D : T crosses N}|``.
+* The **λ-Graphoid** of a cluster keeps the nodes/edges whose representativity
+  is at least λ; the **γ-Graphoid** keeps those whose exclusivity is at least
+  γ.  The plain Graphoid is the λ=0, γ=0 case (everything the cluster touches).
+
+The same definitions apply to edges, with "crossing" meaning "traversing the
+edge at least once".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.structure import Edge, TimeSeriesGraph
+from repro.utils.validation import check_labels, check_probability
+
+
+def _cluster_members(labels: np.ndarray) -> Dict[int, np.ndarray]:
+    return {int(c): np.flatnonzero(labels == c) for c in np.unique(labels)}
+
+
+def node_representativity(graph: TimeSeriesGraph, labels) -> Dict[int, Dict[int, float]]:
+    """``result[cluster][node]`` = representativity of the node for the cluster."""
+    labels = check_labels(labels, n_samples=graph.n_series)
+    members = _cluster_members(labels)
+    result: Dict[int, Dict[int, float]] = {cluster: {} for cluster in members}
+    for node in graph.nodes():
+        crossing = set(graph.series_through_node(node))
+        for cluster, cluster_indices in members.items():
+            if cluster_indices.size == 0:
+                result[cluster][node] = 0.0
+                continue
+            count = sum(1 for idx in cluster_indices if idx in crossing)
+            result[cluster][node] = count / cluster_indices.size
+    return result
+
+
+def node_exclusivity(graph: TimeSeriesGraph, labels) -> Dict[int, Dict[int, float]]:
+    """``result[cluster][node]`` = exclusivity of the node for the cluster."""
+    labels = check_labels(labels, n_samples=graph.n_series)
+    members = _cluster_members(labels)
+    result: Dict[int, Dict[int, float]] = {cluster: {} for cluster in members}
+    for node in graph.nodes():
+        crossing = graph.series_through_node(node)
+        total = len(crossing)
+        for cluster, cluster_indices in members.items():
+            if total == 0:
+                result[cluster][node] = 0.0
+                continue
+            member_set = set(cluster_indices.tolist())
+            count = sum(1 for idx in crossing if idx in member_set)
+            result[cluster][node] = count / total
+    return result
+
+
+def edge_representativity(graph: TimeSeriesGraph, labels) -> Dict[int, Dict[Edge, float]]:
+    """``result[cluster][edge]`` = representativity of the edge for the cluster."""
+    labels = check_labels(labels, n_samples=graph.n_series)
+    members = _cluster_members(labels)
+    result: Dict[int, Dict[Edge, float]] = {cluster: {} for cluster in members}
+    for edge in graph.edges():
+        crossing = set(graph.series_through_edge(edge))
+        for cluster, cluster_indices in members.items():
+            if cluster_indices.size == 0:
+                result[cluster][edge] = 0.0
+                continue
+            count = sum(1 for idx in cluster_indices if idx in crossing)
+            result[cluster][edge] = count / cluster_indices.size
+    return result
+
+
+def edge_exclusivity(graph: TimeSeriesGraph, labels) -> Dict[int, Dict[Edge, float]]:
+    """``result[cluster][edge]`` = exclusivity of the edge for the cluster."""
+    labels = check_labels(labels, n_samples=graph.n_series)
+    members = _cluster_members(labels)
+    result: Dict[int, Dict[Edge, float]] = {cluster: {} for cluster in members}
+    for edge in graph.edges():
+        crossing = graph.series_through_edge(edge)
+        total = len(crossing)
+        for cluster, cluster_indices in members.items():
+            if total == 0:
+                result[cluster][edge] = 0.0
+                continue
+            member_set = set(cluster_indices.tolist())
+            count = sum(1 for idx in crossing if idx in member_set)
+            result[cluster][edge] = count / total
+    return result
+
+
+@dataclass
+class Graphoid:
+    """A cluster-specific subgraph plus the scores that selected it.
+
+    Attributes
+    ----------
+    cluster:
+        Cluster identifier the graphoid describes.
+    nodes / edges:
+        Selected node ids and directed edges.
+    node_scores / edge_scores:
+        The score (representativity or exclusivity, depending on the kind)
+        of every *selected* node/edge.
+    kind:
+        ``"graphoid"``, ``"lambda"`` or ``"gamma"``.
+    threshold:
+        The λ or γ value used for the selection (0.0 for the plain graphoid).
+    """
+
+    cluster: int
+    nodes: List[int] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+    node_scores: Dict[int, float] = field(default_factory=dict)
+    edge_scores: Dict[Edge, float] = field(default_factory=dict)
+    kind: str = "graphoid"
+    threshold: float = 0.0
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of selected nodes."""
+        return len(self.nodes)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of selected edges."""
+        return len(self.edges)
+
+    def is_empty(self) -> bool:
+        """True when neither nodes nor edges were selected."""
+        return not self.nodes and not self.edges
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable summary for the Graph frame side panel."""
+        return {
+            "cluster": self.cluster,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "top_nodes": sorted(self.node_scores, key=self.node_scores.get, reverse=True)[:5],
+        }
+
+
+def extract_graphoid(graph: TimeSeriesGraph, labels, cluster: int) -> Graphoid:
+    """The plain Graphoid: every node/edge traversed by at least one member."""
+    labels = check_labels(labels, n_samples=graph.n_series)
+    members = set(np.flatnonzero(labels == cluster).tolist())
+    if not members:
+        raise ValidationError(f"cluster {cluster} has no members")
+    nodes = [
+        node for node in graph.nodes()
+        if members.intersection(graph.series_through_node(node))
+    ]
+    edges = [
+        edge for edge in graph.edges()
+        if members.intersection(graph.series_through_edge(edge))
+    ]
+    return Graphoid(
+        cluster=int(cluster),
+        nodes=nodes,
+        edges=edges,
+        node_scores={node: 1.0 for node in nodes},
+        edge_scores={edge: 1.0 for edge in edges},
+        kind="graphoid",
+        threshold=0.0,
+    )
+
+
+def extract_lambda_graphoid(
+    graph: TimeSeriesGraph, labels, cluster: int, lambda_threshold: float
+) -> Graphoid:
+    """λ-Graphoid: nodes/edges whose representativity for ``cluster`` >= λ."""
+    lambda_threshold = check_probability(lambda_threshold, "lambda_threshold")
+    node_scores = node_representativity(graph, labels)
+    edge_scores = edge_representativity(graph, labels)
+    if cluster not in node_scores:
+        raise ValidationError(f"cluster {cluster} not present in labels")
+    nodes = {
+        node: score
+        for node, score in node_scores[cluster].items()
+        if score >= lambda_threshold and score > 0
+    }
+    edges = {
+        edge: score
+        for edge, score in edge_scores[cluster].items()
+        if score >= lambda_threshold and score > 0
+    }
+    return Graphoid(
+        cluster=int(cluster),
+        nodes=sorted(nodes),
+        edges=sorted(edges),
+        node_scores=nodes,
+        edge_scores=edges,
+        kind="lambda",
+        threshold=lambda_threshold,
+    )
+
+
+def extract_gamma_graphoid(
+    graph: TimeSeriesGraph, labels, cluster: int, gamma_threshold: float
+) -> Graphoid:
+    """γ-Graphoid: nodes/edges whose exclusivity for ``cluster`` >= γ."""
+    gamma_threshold = check_probability(gamma_threshold, "gamma_threshold")
+    node_scores = node_exclusivity(graph, labels)
+    edge_scores = edge_exclusivity(graph, labels)
+    if cluster not in node_scores:
+        raise ValidationError(f"cluster {cluster} not present in labels")
+    nodes = {
+        node: score
+        for node, score in node_scores[cluster].items()
+        if score >= gamma_threshold and score > 0
+    }
+    edges = {
+        edge: score
+        for edge, score in edge_scores[cluster].items()
+        if score >= gamma_threshold and score > 0
+    }
+    return Graphoid(
+        cluster=int(cluster),
+        nodes=sorted(nodes),
+        edges=sorted(edges),
+        node_scores=nodes,
+        edge_scores=edges,
+        kind="gamma",
+        threshold=gamma_threshold,
+    )
+
+
+def interpretability_factor(graph: TimeSeriesGraph, labels) -> float:
+    """W_e: average over clusters of the maximum node exclusivity.
+
+    This is the paper's interpretability factor used (together with the
+    consistency W_c) to pick the most interpretable subsequence length.
+    """
+    exclusivity = node_exclusivity(graph, labels)
+    maxima = []
+    for cluster, scores in exclusivity.items():
+        if scores:
+            maxima.append(max(scores.values()))
+        else:
+            maxima.append(0.0)
+    return float(np.mean(maxima)) if maxima else 0.0

@@ -1,0 +1,97 @@
+"""2-D layouts for rendering a :class:`TimeSeriesGraph` in the Graph frame."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.structure import TimeSeriesGraph
+from repro.utils.validation import check_positive_int, check_random_state
+
+Position = Tuple[float, float]
+
+
+def _normalise_positions(positions: Dict[int, Position]) -> Dict[int, Position]:
+    """Rescale positions into the unit square (keeps aspect ratio)."""
+    if not positions:
+        return {}
+    coords = np.array(list(positions.values()), dtype=float)
+    minimum = coords.min(axis=0)
+    span = coords.max(axis=0) - minimum
+    scale = float(span.max())
+    if scale < 1e-12:
+        scale = 1.0
+    return {
+        node: tuple(((np.array(pos) - minimum) / scale).tolist())
+        for node, pos in positions.items()
+    }
+
+
+def pca_layout(graph: TimeSeriesGraph) -> Dict[int, Position]:
+    """Use the embedding's own PCA positions (the most faithful layout)."""
+    return _normalise_positions(graph.node_positions())
+
+
+def circular_layout(graph: TimeSeriesGraph) -> Dict[int, Position]:
+    """Nodes equally spaced on a circle, ordered by total weight."""
+    nodes = sorted(graph.nodes(), key=graph.node_weight, reverse=True)
+    n = len(nodes)
+    positions: Dict[int, Position] = {}
+    for i, node in enumerate(nodes):
+        angle = 2.0 * np.pi * i / max(n, 1)
+        positions[node] = (0.5 + 0.5 * np.cos(angle), 0.5 + 0.5 * np.sin(angle))
+    return positions
+
+
+def force_directed_layout(
+    graph: TimeSeriesGraph,
+    *,
+    n_iterations: int = 100,
+    random_state=None,
+) -> Dict[int, Position]:
+    """Fruchterman-Reingold force-directed layout seeded from the PCA layout.
+
+    Edge weights attract proportionally to ``log(1 + weight)`` so heavy
+    transition edges pull their endpoints together without collapsing the
+    whole graph.
+    """
+    n_iterations = check_positive_int(n_iterations, "n_iterations")
+    rng = check_random_state(random_state)
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n == 0:
+        return {}
+    if n == 1:
+        return {nodes[0]: (0.5, 0.5)}
+
+    index = {node: i for i, node in enumerate(nodes)}
+    seed = pca_layout(graph)
+    positions = np.array([seed[node] for node in nodes], dtype=float)
+    positions += rng.normal(0.0, 0.01, size=positions.shape)
+
+    adjacency = np.zeros((n, n))
+    for (source, target) in graph.edges():
+        weight = np.log1p(graph.edge_weight((source, target)))
+        adjacency[index[source], index[target]] += weight
+        adjacency[index[target], index[source]] += weight
+
+    optimal = 1.0 / np.sqrt(n)
+    temperature = 0.1
+    for iteration in range(n_iterations):
+        delta = positions[:, None, :] - positions[None, :, :]
+        distance = np.linalg.norm(delta, axis=2)
+        np.fill_diagonal(distance, 1.0)
+        distance = np.maximum(distance, 1e-6)
+
+        repulsion = (optimal**2) / distance
+        attraction = adjacency * (distance**2) / optimal
+        force = (repulsion - attraction) / distance
+        displacement = np.sum(delta * force[:, :, None], axis=1)
+
+        length = np.linalg.norm(displacement, axis=1, keepdims=True)
+        length = np.maximum(length, 1e-9)
+        positions += displacement / length * np.minimum(length, temperature)
+        temperature *= 0.95
+
+    return _normalise_positions({node: tuple(positions[index[node]]) for node in nodes})

@@ -1,0 +1,237 @@
+"""The attributed directed graph produced by the k-Graph embedding.
+
+A :class:`TimeSeriesGraph` stores, for one subsequence length ℓ:
+
+* the node set (each node is a recurring subsequence pattern with a 2-D
+  position in the PCA projection and a representative pattern),
+* the weighted directed edge set (transition counts between patterns),
+* for every node and edge, the multiset of time series that traverse it
+  (needed to compute representativity and exclusivity), and
+* for every time series, its node trajectory (the sequence of nodes visited
+  by its consecutive subsequences) — this is what the Graph frame highlights
+  when the user selects a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphConstructionError, ValidationError
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class NodeInfo:
+    """Static attributes of one graph node."""
+
+    node_id: int
+    position: Tuple[float, float]
+    pattern: np.ndarray
+    n_subsequences: int = 0
+
+
+@dataclass
+class TimeSeriesGraph:
+    """Directed transition graph over subsequence patterns.
+
+    Parameters
+    ----------
+    length:
+        Subsequence length ℓ this graph was built for.
+    n_series:
+        Number of time series in the dataset the graph embeds.
+    """
+
+    length: int
+    n_series: int
+    _nodes: Dict[int, NodeInfo] = field(default_factory=dict)
+    _edges: Dict[Edge, int] = field(default_factory=dict)
+    _node_series: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    _edge_series: Dict[Edge, Dict[int, int]] = field(default_factory=dict)
+    _trajectories: Dict[int, List[int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_id: int, position: Sequence[float], pattern: np.ndarray) -> None:
+        """Register a node with its 2-D position and representative pattern."""
+        if node_id in self._nodes:
+            raise GraphConstructionError(f"node {node_id} already exists")
+        if len(position) != 2:
+            raise ValidationError("node position must be 2-dimensional")
+        self._nodes[node_id] = NodeInfo(
+            node_id=node_id,
+            position=(float(position[0]), float(position[1])),
+            pattern=np.asarray(pattern, dtype=float),
+        )
+        self._node_series[node_id] = {}
+
+    def record_visit(self, node_id: int, series_index: int) -> None:
+        """Record that a subsequence of ``series_index`` falls in ``node_id``."""
+        if node_id not in self._nodes:
+            raise GraphConstructionError(f"unknown node {node_id}")
+        counts = self._node_series[node_id]
+        counts[series_index] = counts.get(series_index, 0) + 1
+        self._nodes[node_id].n_subsequences += 1
+        self._trajectories.setdefault(series_index, []).append(node_id)
+
+    def record_transition(self, source: int, target: int, series_index: int) -> None:
+        """Record a transition edge ``source -> target`` for ``series_index``."""
+        if source not in self._nodes or target not in self._nodes:
+            raise GraphConstructionError(f"unknown edge endpoint in ({source}, {target})")
+        edge = (source, target)
+        self._edges[edge] = self._edges.get(edge, 0) + 1
+        counts = self._edge_series.setdefault(edge, {})
+        counts[series_index] = counts.get(series_index, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of distinct directed edges."""
+        return len(self._edges)
+
+    def nodes(self) -> List[int]:
+        """Sorted node identifiers."""
+        return sorted(self._nodes)
+
+    def edges(self) -> List[Edge]:
+        """Sorted directed edges."""
+        return sorted(self._edges)
+
+    def node_info(self, node_id: int) -> NodeInfo:
+        """Static attributes of ``node_id``."""
+        if node_id not in self._nodes:
+            raise GraphConstructionError(f"unknown node {node_id}")
+        return self._nodes[node_id]
+
+    def edge_weight(self, edge: Edge) -> int:
+        """Total transition count of ``edge`` (0 when absent)."""
+        return self._edges.get(tuple(edge), 0)
+
+    def node_weight(self, node_id: int) -> int:
+        """Total number of subsequences mapped to ``node_id``."""
+        return self.node_info(node_id).n_subsequences
+
+    def series_through_node(self, node_id: int) -> List[int]:
+        """Indices of the time series that traverse ``node_id`` at least once."""
+        if node_id not in self._nodes:
+            raise GraphConstructionError(f"unknown node {node_id}")
+        return sorted(self._node_series[node_id])
+
+    def series_through_edge(self, edge: Edge) -> List[int]:
+        """Indices of the time series that traverse ``edge`` at least once."""
+        return sorted(self._edge_series.get(tuple(edge), {}))
+
+    def node_visit_counts(self, node_id: int) -> Dict[int, int]:
+        """Mapping series index -> number of subsequences of it in ``node_id``."""
+        if node_id not in self._nodes:
+            raise GraphConstructionError(f"unknown node {node_id}")
+        return dict(self._node_series[node_id])
+
+    def edge_visit_counts(self, edge: Edge) -> Dict[int, int]:
+        """Mapping series index -> number of traversals of ``edge``."""
+        return dict(self._edge_series.get(tuple(edge), {}))
+
+    def trajectory(self, series_index: int) -> List[int]:
+        """Node sequence visited by ``series_index`` (empty when unseen)."""
+        return list(self._trajectories.get(series_index, []))
+
+    def node_positions(self) -> Dict[int, Tuple[float, float]]:
+        """Mapping node -> 2-D position from the embedding projection."""
+        return {node_id: info.position for node_id, info in self._nodes.items()}
+
+    def node_pattern(self, node_id: int) -> np.ndarray:
+        """Representative (average) subsequence pattern of ``node_id``."""
+        return self.node_info(node_id).pattern.copy()
+
+    # ------------------------------------------------------------------ #
+    # matrices used by the Graph Clustering step
+    # ------------------------------------------------------------------ #
+    def node_feature_matrix(self, normalize: bool = True) -> np.ndarray:
+        """(n_series, n_nodes) matrix of node crossing counts.
+
+        When ``normalize`` is true each row is divided by its sum so series of
+        different lengths (or stride effects) are comparable.
+        """
+        nodes = self.nodes()
+        index = {node_id: col for col, node_id in enumerate(nodes)}
+        matrix = np.zeros((self.n_series, len(nodes)))
+        for node_id, counts in self._node_series.items():
+            for series_index, count in counts.items():
+                matrix[series_index, index[node_id]] = count
+        if normalize:
+            sums = matrix.sum(axis=1, keepdims=True)
+            sums = np.where(sums == 0, 1.0, sums)
+            matrix = matrix / sums
+        return matrix
+
+    def edge_feature_matrix(self, normalize: bool = True) -> np.ndarray:
+        """(n_series, n_edges) matrix of edge traversal counts."""
+        edges = self.edges()
+        index = {edge: col for col, edge in enumerate(edges)}
+        matrix = np.zeros((self.n_series, len(edges)))
+        for edge, counts in self._edge_series.items():
+            for series_index, count in counts.items():
+                matrix[series_index, index[edge]] = count
+        if normalize:
+            sums = matrix.sum(axis=1, keepdims=True)
+            sums = np.where(sums == 0, 1.0, sums)
+            matrix = matrix / sums
+        return matrix
+
+    def feature_matrix(self, normalize: bool = True) -> np.ndarray:
+        """Concatenated node + edge feature matrix (the paper's F_{D,ℓ})."""
+        return np.hstack(
+            [self.node_feature_matrix(normalize), self.edge_feature_matrix(normalize)]
+        )
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """(n_nodes, n_nodes) weighted adjacency matrix in node-sorted order."""
+        nodes = self.nodes()
+        index = {node_id: i for i, node_id in enumerate(nodes)}
+        matrix = np.zeros((len(nodes), len(nodes)))
+        for (source, target), weight in self._edges.items():
+            matrix[index[source], index[target]] = weight
+        return matrix
+
+    # ------------------------------------------------------------------ #
+    # interop / summaries
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` with weights and attributes."""
+        import networkx as nx
+
+        graph = nx.DiGraph(length=self.length, n_series=self.n_series)
+        for node_id, info in self._nodes.items():
+            graph.add_node(
+                node_id,
+                position=info.position,
+                weight=info.n_subsequences,
+                n_series=len(self._node_series[node_id]),
+            )
+        for (source, target), weight in self._edges.items():
+            graph.add_edge(source, target, weight=weight)
+        return graph
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable summary for the Under-the-hood frame."""
+        weights = [info.n_subsequences for info in self._nodes.values()]
+        return {
+            "length": self.length,
+            "n_series": self.n_series,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "max_node_weight": int(max(weights)) if weights else 0,
+            "mean_node_weight": float(np.mean(weights)) if weights else 0.0,
+        }

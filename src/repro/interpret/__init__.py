@@ -1,0 +1,33 @@
+"""Interpretability test (Fig. 3 frame 3 / Demonstration Scenario 1).
+
+The Graphint demo asks a *human* to assign five randomly drawn time series to
+clusters, given only each cluster's representation: the centroid for k-Means
+and k-Shape, or the cluster's subgraph (graphoid) for k-Graph.  A high score
+means the representation is informative, i.e. interpretable.
+
+Without human participants we reproduce the protocol with a **simulated
+user**: an agent that, like the demo participant, sees only the cluster
+representations and the query series and picks the best-matching cluster.
+The relative ordering of methods (does the k-Graph representation let the
+user recover assignments better than centroids?) is the quantity the demo
+reports, and it is preserved under this substitution (see DESIGN.md).
+"""
+
+from repro.interpret.quiz import Quiz, QuizQuestion, build_quiz
+from repro.interpret.representations import (
+    ClusterRepresentation,
+    centroid_representation,
+    graphoid_representation,
+)
+from repro.interpret.user_model import SimulatedUser, score_methods
+
+__all__ = [
+    "ClusterRepresentation",
+    "Quiz",
+    "QuizQuestion",
+    "SimulatedUser",
+    "build_quiz",
+    "centroid_representation",
+    "graphoid_representation",
+    "score_methods",
+]

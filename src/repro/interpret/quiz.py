@@ -1,0 +1,130 @@
+"""Quiz construction for the Interpretability test frame.
+
+A quiz is built for one dataset and one clustering method: five series are
+drawn at random and the participant must recover the cluster the method
+assigned them to, given only the per-cluster representations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.interpret.representations import ClusterRepresentation
+from repro.utils.containers import TimeSeriesDataset
+from repro.utils.validation import check_labels, check_positive_int, check_random_state
+
+
+@dataclass
+class QuizQuestion:
+    """One question: which cluster was this series assigned to?"""
+
+    question_id: int
+    series_index: int
+    series: np.ndarray
+    correct_cluster: int
+
+    def is_correct(self, answer: int) -> bool:
+        """Whether ``answer`` matches the method's assignment."""
+        return int(answer) == int(self.correct_cluster)
+
+
+@dataclass
+class Quiz:
+    """A full quiz: questions plus the representations shown to the participant."""
+
+    dataset_name: str
+    method: str
+    questions: List[QuizQuestion]
+    representations: Dict[int, ClusterRepresentation]
+    answers: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_questions(self) -> int:
+        """Number of questions (five in the demo)."""
+        return len(self.questions)
+
+    @property
+    def clusters(self) -> List[int]:
+        """Clusters the participant can answer with."""
+        return sorted(self.representations)
+
+    def answer(self, question_id: int, cluster: int) -> None:
+        """Record an answer for ``question_id``."""
+        if question_id not in {q.question_id for q in self.questions}:
+            raise ValidationError(f"unknown question id {question_id}")
+        if cluster not in self.representations:
+            raise ValidationError(
+                f"cluster {cluster} is not a valid answer; options: {self.clusters}"
+            )
+        self.answers[int(question_id)] = int(cluster)
+
+    def score(self) -> float:
+        """Fraction of answered questions that are correct (0 when none answered)."""
+        if not self.answers:
+            return 0.0
+        correct = 0
+        for question in self.questions:
+            answer = self.answers.get(question.question_id)
+            if answer is not None and question.is_correct(answer):
+                correct += 1
+        return correct / self.n_questions
+
+    def is_complete(self) -> bool:
+        """Whether every question has been answered."""
+        return len(self.answers) == self.n_questions
+
+
+def build_quiz(
+    dataset: TimeSeriesDataset,
+    method: str,
+    method_labels,
+    representations: Dict[int, ClusterRepresentation],
+    *,
+    n_questions: int = 5,
+    random_state=None,
+    exclude_indices: Optional[Sequence[int]] = None,
+) -> Quiz:
+    """Draw ``n_questions`` random series and build the quiz.
+
+    ``method_labels`` are the assignments produced by ``method`` on the
+    dataset (the "correct" answers of the quiz are the method's own labels,
+    not the ground truth — the quiz measures how well the representation
+    explains the method's behaviour).
+    """
+    n_questions = check_positive_int(n_questions, "n_questions")
+    labels = check_labels(method_labels, n_samples=dataset.n_series)
+    rng = check_random_state(random_state)
+    if not representations:
+        raise ValidationError("representations must not be empty")
+    missing = set(np.unique(labels).tolist()) - set(representations)
+    if missing:
+        raise ValidationError(f"representations missing for clusters {sorted(missing)}")
+
+    candidates = np.arange(dataset.n_series)
+    if exclude_indices is not None:
+        excluded = set(int(i) for i in exclude_indices)
+        candidates = np.array([i for i in candidates if i not in excluded])
+    if candidates.size == 0:
+        raise ValidationError("no candidate series left to draw questions from")
+    n_questions = min(n_questions, candidates.size)
+    chosen = rng.choice(candidates, size=n_questions, replace=False)
+
+    questions = [
+        QuizQuestion(
+            question_id=i,
+            series_index=int(index),
+            series=dataset.data[int(index)].copy(),
+            correct_cluster=int(labels[int(index)]),
+        )
+        for i, index in enumerate(chosen)
+    ]
+    return Quiz(
+        dataset_name=dataset.name,
+        method=method,
+        questions=questions,
+        representations=dict(representations),
+    )

@@ -1,0 +1,179 @@
+"""Simulated quiz participant and method comparison (Scenario 1).
+
+The simulated user mimics what a careful human does in the demo:
+
+* With a **centroid** representation, they visually compare the query series
+  to each centroid — modelled as the shape-based distance (shift-invariant,
+  like a human ignoring horizontal offsets) between the z-normalised query
+  and the centroid; the closest centroid wins.
+* With a **graphoid** representation, they look for the cluster whose
+  characteristic patterns appear in the query series — modelled as the best
+  (smallest) sliding-window distance between each pattern and the series,
+  weighted by the pattern's exclusivity score; the cluster whose patterns
+  match best wins.
+
+A ``perception_noise`` parameter adds Gaussian noise to the internal match
+scores so the simulated user is imperfect, like a human.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.interpret.quiz import Quiz
+from repro.interpret.representations import ClusterRepresentation
+from repro.metrics.distances import sbd_distance
+from repro.utils.normalization import znormalize
+from repro.utils.validation import check_random_state
+from repro.utils.windows import sliding_window_matrix
+
+
+@dataclass
+class SimulatedUser:
+    """A participant who answers quizzes from cluster representations only.
+
+    Parameters
+    ----------
+    perception_noise:
+        Standard deviation of the noise added to internal match scores
+        (0 = ideal participant).
+    random_state:
+        Seed for the perception noise.
+    """
+
+    perception_noise: float = 0.0
+    random_state: object = None
+
+    def __post_init__(self) -> None:
+        if self.perception_noise < 0:
+            raise ValidationError("perception_noise must be non-negative")
+        self._rng = check_random_state(self.random_state)
+
+    # ------------------------------------------------------------------ #
+    def _centroid_affinity(self, series: np.ndarray, representation: ClusterRepresentation) -> float:
+        """Higher = the series looks more like this centroid."""
+        distance = sbd_distance(znormalize(series), representation.centroid)
+        return -float(distance)
+
+    @staticmethod
+    def _series_node_profile(series: np.ndarray, node_patterns) -> np.ndarray:
+        """Place ``series`` on the graph by nearest-pattern subsequence assignment.
+
+        Returns the normalised node-visit distribution, the same representation
+        the Graph frame highlights as the series' trajectory.
+        """
+        window = node_patterns[0].shape[0]
+        normalized = znormalize(series)
+        if window >= normalized.shape[0]:
+            windows = znormalize(normalized).reshape(1, -1)[:, :window]
+        else:
+            windows = sliding_window_matrix(normalized, window)
+            means = windows.mean(axis=1, keepdims=True)
+            stds = windows.std(axis=1, keepdims=True)
+            stds = np.where(stds < 1e-12, 1.0, stds)
+            windows = (windows - means) / stds
+        patterns = np.vstack(node_patterns)
+        distances = (
+            np.sum(windows**2, axis=1)[:, None]
+            - 2.0 * windows @ patterns.T
+            + np.sum(patterns**2, axis=1)[None, :]
+        )
+        assignments = np.argmin(distances, axis=1)
+        profile = np.bincount(assignments, minlength=patterns.shape[0]).astype(float)
+        total = profile.sum()
+        return profile / total if total > 0 else profile
+
+    def _graphoid_affinity(self, series: np.ndarray, representation: ClusterRepresentation) -> float:
+        """Higher = the series lands on this cluster's region of the graph.
+
+        When the representation carries the full graph information (node
+        patterns + the cluster's visit profile), the participant places the
+        series on the graph and compares visit distributions — mirroring the
+        demo, where the user sees the series' trajectory highlighted on the
+        graph.  Otherwise they fall back to matching the graphoid patterns
+        against the series.
+        """
+        if representation.cluster_profile is not None and representation.graph_node_patterns:
+            profile = self._series_node_profile(series, representation.graph_node_patterns)
+            reference = representation.cluster_profile
+            denom = float(np.linalg.norm(profile) * np.linalg.norm(reference))
+            if denom < 1e-12:
+                return -np.inf
+            return float(profile @ reference / denom)
+        if not representation.patterns:
+            return -np.inf
+        normalized = znormalize(series)
+        total = 0.0
+        weight_sum = 0.0
+        for pattern, score in zip(representation.patterns, representation.pattern_scores):
+            window = pattern.shape[0]
+            if window >= normalized.shape[0]:
+                distance = sbd_distance(normalized, znormalize(pattern))
+            else:
+                windows = sliding_window_matrix(normalized, window)
+                # z-normalise windows so the comparison is shape-only.
+                means = windows.mean(axis=1, keepdims=True)
+                stds = windows.std(axis=1, keepdims=True)
+                stds = np.where(stds < 1e-12, 1.0, stds)
+                windows = (windows - means) / stds
+                distances = np.linalg.norm(windows - pattern, axis=1) / np.sqrt(window)
+                distance = float(distances.min())
+            weight = max(float(score), 1e-6)
+            total += weight * (-distance)
+            weight_sum += weight
+        return total / weight_sum
+
+    def _affinity(self, series: np.ndarray, representation: ClusterRepresentation) -> float:
+        if representation.kind == "centroid":
+            value = self._centroid_affinity(series, representation)
+        elif representation.kind == "graphoid":
+            value = self._graphoid_affinity(series, representation)
+        else:
+            raise ValidationError(f"unknown representation kind {representation.kind!r}")
+        if self.perception_noise > 0:
+            value += float(self._rng.normal(0.0, self.perception_noise))
+        return value
+
+    def answer_quiz(self, quiz: Quiz) -> Quiz:
+        """Answer every question of ``quiz`` in place and return it."""
+        for question in quiz.questions:
+            affinities = {
+                cluster: self._affinity(question.series, representation)
+                for cluster, representation in quiz.representations.items()
+            }
+            best = max(sorted(affinities), key=lambda c: affinities[c])
+            quiz.answer(question.question_id, best)
+        return quiz
+
+
+def score_methods(
+    quizzes: Dict[str, Quiz],
+    *,
+    n_users: int = 5,
+    perception_noise: float = 0.05,
+    random_state=None,
+) -> Dict[str, float]:
+    """Average simulated-user score per method (the Scenario-1 comparison).
+
+    Each of the ``n_users`` simulated participants answers every quiz; the
+    returned score per method is the mean fraction of correct answers.
+    Answers recorded on the quiz objects afterwards are those of the last
+    user.
+    """
+    if not quizzes:
+        raise ValidationError("quizzes must not be empty")
+    rng = check_random_state(random_state)
+    scores: Dict[str, list] = {method: [] for method in quizzes}
+    for _ in range(max(int(n_users), 1)):
+        user = SimulatedUser(
+            perception_noise=perception_noise,
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        for method, quiz in quizzes.items():
+            user.answer_quiz(quiz)
+            scores[method].append(quiz.score())
+    return {method: float(np.mean(values)) for method, values in scores.items()}

@@ -1,0 +1,19 @@
+"""Numerical substrates: PCA, kernel density estimation, kernels.
+
+The paper's graph embedding step projects subsequences with PCA and extracts
+nodes as local maxima of a kernel density estimate — both are implemented
+here from scratch on top of NumPy/SciPy linear algebra.
+"""
+
+from repro.linalg.pca import PCA
+from repro.linalg.kde import KernelDensityEstimator, scott_bandwidth, silverman_bandwidth
+from repro.linalg.kernels import gaussian_kernel_matrix, rbf_affinity
+
+__all__ = [
+    "PCA",
+    "KernelDensityEstimator",
+    "gaussian_kernel_matrix",
+    "rbf_affinity",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+]

@@ -1,0 +1,174 @@
+"""Kernel density estimation in one and two dimensions.
+
+The k-Graph node-extraction step finds dense regions of the PCA-projected
+subsequence cloud by scanning radial directions and locating local maxima of
+a kernel density estimate along each scan line.  This module provides that
+estimator (Gaussian and Epanechnikov kernels, Scott/Silverman bandwidth
+rules) plus grid evaluation and 1-D local-maxima search helpers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_array
+
+
+def scott_bandwidth(data: np.ndarray) -> float:
+    """Scott's rule-of-thumb bandwidth for a (n, d) sample."""
+    array = check_array(data, name="data")
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    n, d = array.shape
+    sigma = float(np.mean(array.std(axis=0)))
+    sigma = max(sigma, 1e-12)
+    return sigma * n ** (-1.0 / (d + 4))
+
+
+def silverman_bandwidth(data: np.ndarray) -> float:
+    """Silverman's rule-of-thumb bandwidth for a (n, d) sample."""
+    array = check_array(data, name="data")
+    if array.ndim == 1:
+        array = array.reshape(-1, 1)
+    n, d = array.shape
+    sigma = float(np.mean(array.std(axis=0)))
+    sigma = max(sigma, 1e-12)
+    factor = (n * (d + 2) / 4.0) ** (-1.0 / (d + 4))
+    return sigma * factor
+
+
+class KernelDensityEstimator:
+    """Fixed-bandwidth kernel density estimator.
+
+    Parameters
+    ----------
+    bandwidth:
+        Positive smoothing bandwidth, or ``"scott"`` / ``"silverman"`` to pick
+        it from the data at fit time.
+    kernel:
+        ``"gaussian"`` (default) or ``"epanechnikov"``.
+    """
+
+    def __init__(self, bandwidth="scott", kernel: str = "gaussian") -> None:
+        if isinstance(bandwidth, str):
+            if bandwidth not in {"scott", "silverman"}:
+                raise ValidationError(f"unknown bandwidth rule {bandwidth!r}")
+        else:
+            bandwidth = float(bandwidth)
+            if bandwidth <= 0:
+                raise ValidationError(f"bandwidth must be positive, got {bandwidth}")
+        if kernel not in {"gaussian", "epanechnikov"}:
+            raise ValidationError(f"unknown kernel {kernel!r}")
+        self.bandwidth = bandwidth
+        self.kernel = kernel
+        self.bandwidth_: Optional[float] = None
+        self._samples: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data) -> "KernelDensityEstimator":
+        """Store the sample and resolve the bandwidth."""
+        array = check_array(data, name="data")
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        self._samples = array
+        if isinstance(self.bandwidth, str):
+            rule = scott_bandwidth if self.bandwidth == "scott" else silverman_bandwidth
+            self.bandwidth_ = max(rule(array), 1e-9)
+        else:
+            self.bandwidth_ = float(self.bandwidth)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._samples is None or self.bandwidth_ is None:
+            raise NotFittedError("KernelDensityEstimator is not fitted yet")
+
+    def _kernel_values(self, squared_distances: np.ndarray) -> np.ndarray:
+        h = self.bandwidth_
+        if self.kernel == "gaussian":
+            return np.exp(-0.5 * squared_distances / (h * h))
+        scaled = squared_distances / (h * h)
+        return np.maximum(1.0 - scaled, 0.0)
+
+    def score_samples(self, points) -> np.ndarray:
+        """Unnormalised density estimate at each query point.
+
+        The absolute scale is irrelevant for local-maxima detection (the only
+        use in the pipeline), so the kernel sum is returned without the
+        normalising constant; values are comparable across points for a fixed
+        fitted estimator.
+        """
+        self._check_fitted()
+        query = check_array(points, name="points")
+        if query.ndim == 1:
+            query = query.reshape(-1, 1)
+        if query.shape[1] != self._samples.shape[1]:
+            raise ValidationError(
+                f"points have dimension {query.shape[1]}, estimator was fitted with "
+                f"{self._samples.shape[1]}"
+            )
+        # (n_query, n_samples) squared distances, chunked to bound memory.
+        densities = np.zeros(query.shape[0])
+        chunk = 2048
+        for start in range(0, query.shape[0], chunk):
+            block = query[start: start + chunk]
+            diff = block[:, None, :] - self._samples[None, :, :]
+            sq = np.sum(diff * diff, axis=2)
+            densities[start: start + chunk] = self._kernel_values(sq).sum(axis=1)
+        return densities / (self._samples.shape[0] * self.bandwidth_)
+
+    def evaluate_grid_1d(
+        self, low: float, high: float, n_points: int = 256
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the density on a regular 1-D grid; returns (grid, density)."""
+        self._check_fitted()
+        if self._samples.shape[1] != 1:
+            raise ValidationError("evaluate_grid_1d requires a 1-D fitted sample")
+        if high <= low:
+            raise ValidationError("grid bounds must satisfy low < high")
+        grid = np.linspace(low, high, int(n_points))
+        return grid, self.score_samples(grid.reshape(-1, 1))
+
+
+def local_maxima_1d(values, *, min_prominence: float = 0.0) -> List[int]:
+    """Indices of local maxima of a 1-D signal, optionally prominence-filtered.
+
+    A plateau maximum reports its left-most index.  Prominence is measured as
+    the drop to the higher of the two neighbouring minima.
+    """
+    array = check_array(values, name="values", ndim=1, min_rows=1)
+    n = array.shape[0]
+    if n == 1:
+        return [0]
+    candidates: List[int] = []
+    i = 1
+    if array[0] > array[1]:
+        candidates.append(0)
+    while i < n - 1:
+        if array[i] > array[i - 1] and array[i] >= array[i + 1]:
+            candidates.append(i)
+            # Skip the plateau to avoid duplicate reports.
+            j = i + 1
+            while j < n - 1 and array[j] == array[i]:
+                j += 1
+            i = j
+        else:
+            i += 1
+    if array[n - 1] > array[n - 2]:
+        candidates.append(n - 1)
+
+    if min_prominence <= 0:
+        return candidates
+
+    kept: List[int] = []
+    for idx in candidates:
+        left = array[:idx + 1]
+        right = array[idx:]
+        left_min = float(left.min()) if left.size else float(array[idx])
+        right_min = float(right.min()) if right.size else float(array[idx])
+        prominence = float(array[idx]) - max(left_min, right_min)
+        if prominence >= min_prominence:
+            kept.append(idx)
+    return kept

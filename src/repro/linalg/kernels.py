@@ -1,0 +1,57 @@
+"""Affinity kernels used by spectral clustering and consensus clustering."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.utils.validation import check_array
+
+
+def gaussian_kernel_matrix(distances, gamma: Optional[float] = None) -> np.ndarray:
+    """Convert a distance matrix to Gaussian (RBF) affinities ``exp(-g d^2)``.
+
+    When ``gamma`` is ``None`` it defaults to ``1 / median(d^2)`` over the
+    strictly positive entries (the "median heuristic"), which keeps affinities
+    well spread for arbitrary scales.
+    """
+    matrix = check_array(distances, name="distances", ndim=2)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError("distance matrix must be square")
+    squared = matrix**2
+    if gamma is None:
+        positive = squared[squared > 0]
+        scale = float(np.median(positive)) if positive.size else 1.0
+        gamma = 1.0 / max(scale, 1e-12)
+    elif gamma <= 0:
+        raise ValidationError(f"gamma must be positive, got {gamma}")
+    affinity = np.exp(-gamma * squared)
+    np.fill_diagonal(affinity, 1.0)
+    return affinity
+
+
+def rbf_affinity(data, gamma: Optional[float] = None, metric: str = "euclidean") -> np.ndarray:
+    """RBF affinity matrix computed directly from a feature matrix."""
+    array = check_array(data, name="data", ndim=2)
+    distances = pairwise_distances(array, metric=metric)
+    return gaussian_kernel_matrix(distances, gamma=gamma)
+
+
+def knn_affinity(data, n_neighbors: int = 10, metric: str = "euclidean") -> np.ndarray:
+    """Symmetric k-nearest-neighbour connectivity affinity (0/1 entries)."""
+    array = check_array(data, name="data", ndim=2)
+    n = array.shape[0]
+    if n_neighbors < 1:
+        raise ValidationError(f"n_neighbors must be >= 1, got {n_neighbors}")
+    n_neighbors = min(n_neighbors, n - 1)
+    distances = pairwise_distances(array, metric=metric)
+    affinity = np.zeros((n, n))
+    for i in range(n):
+        order = np.argsort(distances[i])
+        neighbours = [j for j in order if j != i][:n_neighbors]
+        affinity[i, neighbours] = 1.0
+    # Symmetrise: connect if either endpoint lists the other as a neighbour.
+    return np.maximum(affinity, affinity.T)

@@ -1,0 +1,118 @@
+"""Principal Component Analysis via singular value decomposition.
+
+Used by the k-Graph embedding to project all subsequences of a given length
+into a low-dimensional space (two or three components) while keeping the
+dominant shape information, exactly as described in Section II-A of the
+paper ("For each graph, PCA is applied, allowing us to project the
+subsequences into a two-dimensional space while retaining their essential
+shapes").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import check_array, check_positive_int
+
+
+class PCA:
+    """Exact PCA with the scikit-learn ``fit`` / ``transform`` API.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal directions to keep.  Must not exceed
+        ``min(n_samples, n_features)`` at fit time.
+    whiten:
+        When true, scale projected coordinates to unit variance per component.
+
+    Attributes
+    ----------
+    components_:
+        Array of shape ``(n_components, n_features)``; rows are principal axes.
+    explained_variance_:
+        Variance captured by each component.
+    explained_variance_ratio_:
+        Fraction of the total variance captured by each component.
+    mean_:
+        Per-feature mean removed before projection.
+    """
+
+    def __init__(self, n_components: int = 2, whiten: bool = False) -> None:
+        self.n_components = check_positive_int(n_components, "n_components")
+        self.whiten = bool(whiten)
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+        self.singular_values_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+        self.n_samples_: int = 0
+        self.n_features_: int = 0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, data) -> "PCA":
+        """Estimate the principal axes of ``data`` (shape n_samples x n_features)."""
+        array = check_array(data, name="data", ndim=2, min_rows=2)
+        n_samples, n_features = array.shape
+        if self.n_components > min(n_samples, n_features):
+            raise ValidationError(
+                f"n_components={self.n_components} exceeds min(n_samples, n_features)="
+                f"{min(n_samples, n_features)}"
+            )
+        self.mean_ = array.mean(axis=0)
+        centered = array - self.mean_
+        # Economy SVD: centered = U S Vt, principal axes are rows of Vt.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        explained_variance = (singular_values**2) / (n_samples - 1)
+        total_variance = float(explained_variance.sum())
+
+        self.components_ = vt[: self.n_components]
+        self.singular_values_ = singular_values[: self.n_components]
+        self.explained_variance_ = explained_variance[: self.n_components]
+        if total_variance > 0:
+            self.explained_variance_ratio_ = self.explained_variance_ / total_variance
+        else:
+            self.explained_variance_ratio_ = np.zeros(self.n_components)
+        self.n_samples_ = n_samples
+        self.n_features_ = n_features
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None:
+            raise NotFittedError("PCA instance is not fitted yet; call fit() first")
+
+    def transform(self, data) -> np.ndarray:
+        """Project ``data`` onto the fitted principal axes."""
+        self._check_fitted()
+        array = check_array(data, name="data", ndim=2, min_rows=1)
+        if array.shape[1] != self.n_features_:
+            raise ValidationError(
+                f"data has {array.shape[1]} features, PCA was fitted with {self.n_features_}"
+            )
+        projected = (array - self.mean_) @ self.components_.T
+        if self.whiten:
+            scale = np.sqrt(self.explained_variance_)
+            scale = np.where(scale < 1e-12, 1.0, scale)
+            projected = projected / scale
+        return projected
+
+    def fit_transform(self, data) -> np.ndarray:
+        """Fit the model on ``data`` and return its projection."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected) -> np.ndarray:
+        """Map projected coordinates back to the original feature space."""
+        self._check_fitted()
+        array = check_array(projected, name="projected", ndim=2, min_rows=1)
+        if array.shape[1] != self.components_.shape[0]:
+            raise ValidationError(
+                f"projected data has {array.shape[1]} components, expected "
+                f"{self.components_.shape[0]}"
+            )
+        if self.whiten:
+            scale = np.sqrt(self.explained_variance_)
+            array = array * scale
+        return array @ self.components_ + self.mean_

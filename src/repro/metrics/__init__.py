@@ -1,0 +1,89 @@
+"""Distances and clustering-quality measures.
+
+This package replaces the scikit-learn / tslearn metric stack with
+from-scratch NumPy implementations:
+
+* :mod:`repro.metrics.distances` — Euclidean, shape-based distance (SBD),
+  dynamic time warping, cross-correlation.
+* :mod:`repro.metrics.contingency` — contingency tables and pair counts.
+* :mod:`repro.metrics.clustering` — Rand index, adjusted Rand index, mutual
+  information, NMI, AMI, homogeneity/completeness/V-measure, purity,
+  Fowlkes-Mallows.
+* :mod:`repro.metrics.silhouette` — silhouette coefficient on arbitrary
+  distance matrices.
+"""
+
+from repro.metrics.distances import (
+    cross_correlation,
+    dtw_distance,
+    euclidean_distance,
+    pairwise_distances,
+    sbd_distance,
+    znormalized_euclidean_distance,
+)
+from repro.metrics.contingency import contingency_matrix, pair_confusion_matrix
+from repro.metrics.clustering import (
+    adjusted_mutual_information,
+    adjusted_rand_index,
+    clustering_report,
+    completeness_score,
+    fowlkes_mallows_index,
+    homogeneity_score,
+    mutual_information,
+    normalized_mutual_information,
+    purity_score,
+    rand_index,
+    v_measure_score,
+)
+from repro.metrics.silhouette import silhouette_samples, silhouette_score
+
+__all__ = [
+    "adjusted_mutual_information",
+    "adjusted_rand_index",
+    "clustering_report",
+    "completeness_score",
+    "contingency_matrix",
+    "cross_correlation",
+    "dtw_distance",
+    "euclidean_distance",
+    "fowlkes_mallows_index",
+    "homogeneity_score",
+    "mutual_information",
+    "normalized_mutual_information",
+    "pair_confusion_matrix",
+    "pairwise_distances",
+    "purity_score",
+    "rand_index",
+    "sbd_distance",
+    "silhouette_samples",
+    "silhouette_score",
+    "v_measure_score",
+    "znormalized_euclidean_distance",
+]
+
+#: Names of the evaluation measures exposed in the Benchmark frame (Fig. 2).
+BENCHMARK_MEASURES = ("ari", "ri", "nmi", "ami")
+
+
+def evaluate_measure(name: str, labels_true, labels_pred) -> float:
+    """Evaluate one of the Benchmark-frame measures by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"ari"``, ``"ri"``, ``"nmi"``, ``"ami"`` (case-insensitive),
+        plus the extra aliases ``"purity"``, ``"vmeasure"`` and ``"fmi"``.
+    """
+    key = name.strip().lower()
+    mapping = {
+        "ari": adjusted_rand_index,
+        "ri": rand_index,
+        "nmi": normalized_mutual_information,
+        "ami": adjusted_mutual_information,
+        "purity": purity_score,
+        "vmeasure": v_measure_score,
+        "fmi": fowlkes_mallows_index,
+    }
+    if key not in mapping:
+        raise ValueError(f"unknown evaluation measure {name!r}; expected one of {sorted(mapping)}")
+    return mapping[key](labels_true, labels_pred)

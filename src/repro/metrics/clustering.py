@@ -1,0 +1,223 @@
+"""External clustering-quality measures.
+
+These are the measures exposed in the Graphint Benchmark frame (ARI, RI,
+NMI, AMI) plus a few extra standard ones (purity, V-measure, Fowlkes-Mallows)
+so the benchmark harness can report a complete picture.
+
+All implementations follow the textbook contingency-table definitions and are
+validated by the test suite against hand-computed examples and invariants
+(symmetry, permutation invariance, bounds).
+"""
+
+from __future__ import annotations
+
+from math import lgamma
+from typing import Dict
+
+import numpy as np
+
+from repro.metrics.contingency import contingency_matrix, pair_confusion_matrix
+from repro.utils.validation import check_labels
+
+
+def _comb2(values: np.ndarray) -> np.ndarray:
+    """Vectorised n-choose-2."""
+    values = np.asarray(values, dtype=np.float64)
+    return values * (values - 1.0) / 2.0
+
+
+def rand_index(labels_true, labels_pred) -> float:
+    """Rand index: fraction of sample pairs on which the partitions agree."""
+    tn, fp, fn, tp = pair_confusion_matrix(labels_true, labels_pred).ravel()
+    total = tn + fp + fn + tp
+    if total == 0:
+        return 1.0
+    return float((tp + tn) / total)
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand index (chance-corrected RI), in [-1, 1].
+
+    This is the consistency criterion W_c(ℓ) of the paper: k-Graph uses
+    ``ARI(L, L_ℓ)`` to measure the agreement between the final labels and the
+    per-length partitions.
+    """
+    table = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_comb_cells = float(np.sum(_comb2(table)))
+    sum_comb_rows = float(np.sum(_comb2(table.sum(axis=1))))
+    sum_comb_cols = float(np.sum(_comb2(table.sum(axis=0))))
+    total_pairs = float(_comb2(np.array([n]))[0])
+    expected = sum_comb_rows * sum_comb_cols / total_pairs if total_pairs > 0 else 0.0
+    maximum = 0.5 * (sum_comb_rows + sum_comb_cols)
+    denominator = maximum - expected
+    if abs(denominator) < 1e-15:
+        # Both partitions are trivial (all singletons or one block): define as 1
+        # when they are identical in structure, 0 otherwise.
+        return 1.0 if sum_comb_cells == maximum else 0.0
+    return float((sum_comb_cells - expected) / denominator)
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (nats) of a count vector."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+def mutual_information(labels_true, labels_pred) -> float:
+    """Mutual information (nats) between two labelings."""
+    table = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    joint = table / n
+    row = joint.sum(axis=1, keepdims=True)
+    col = joint.sum(axis=0, keepdims=True)
+    outer = row @ col
+    mask = joint > 0
+    return float(np.sum(joint[mask] * (np.log(joint[mask]) - np.log(outer[mask]))))
+
+
+def normalized_mutual_information(labels_true, labels_pred, average: str = "arithmetic") -> float:
+    """Normalised mutual information in [0, 1].
+
+    ``average`` selects the normalisation: ``"arithmetic"`` (default, sklearn's
+    default too), ``"geometric"``, ``"min"`` or ``"max"``.
+    """
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred", n_samples=true.shape[0])
+    h_true = _entropy(np.unique(true, return_counts=True)[1])
+    h_pred = _entropy(np.unique(pred, return_counts=True)[1])
+    mi = mutual_information(true, pred)
+    if h_true == 0.0 and h_pred == 0.0:
+        return 1.0
+    if average == "arithmetic":
+        denom = 0.5 * (h_true + h_pred)
+    elif average == "geometric":
+        denom = float(np.sqrt(h_true * h_pred))
+    elif average == "min":
+        denom = min(h_true, h_pred)
+    elif average == "max":
+        denom = max(h_true, h_pred)
+    else:
+        raise ValueError(f"unknown average {average!r}")
+    if denom <= 0:
+        return 0.0
+    return float(np.clip(mi / denom, 0.0, 1.0))
+
+
+def expected_mutual_information(labels_true, labels_pred) -> float:
+    """Expected mutual information under the permutation (hypergeometric) model.
+
+    Needed for the adjusted mutual information.  Uses the standard
+    O(R * C * n) summation with log-gamma terms for numerical stability.
+    """
+    table = contingency_matrix(labels_true, labels_pred)
+    n = int(table.sum())
+    if n == 0:
+        return 0.0
+    a = table.sum(axis=1).astype(np.int64)
+    b = table.sum(axis=0).astype(np.int64)
+    emi = 0.0
+    log_n = np.log(n)
+    for ai in a:
+        for bj in b:
+            nij_start = max(1, ai + bj - n)
+            nij_end = min(ai, bj)
+            if nij_start > nij_end:
+                continue
+            for nij in range(nij_start, nij_end + 1):
+                term1 = nij / n * (np.log(nij) - np.log(ai) - np.log(bj) + log_n)
+                log_prob = (
+                    lgamma(ai + 1)
+                    + lgamma(bj + 1)
+                    + lgamma(n - ai + 1)
+                    + lgamma(n - bj + 1)
+                    - lgamma(n + 1)
+                    - lgamma(nij + 1)
+                    - lgamma(ai - nij + 1)
+                    - lgamma(bj - nij + 1)
+                    - lgamma(n - ai - bj + nij + 1)
+                )
+                emi += term1 * np.exp(log_prob)
+    return float(emi)
+
+
+def adjusted_mutual_information(labels_true, labels_pred) -> float:
+    """Adjusted mutual information (chance-corrected NMI), arithmetic average."""
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred", n_samples=true.shape[0])
+    h_true = _entropy(np.unique(true, return_counts=True)[1])
+    h_pred = _entropy(np.unique(pred, return_counts=True)[1])
+    if h_true == 0.0 and h_pred == 0.0:
+        return 1.0
+    mi = mutual_information(true, pred)
+    emi = expected_mutual_information(true, pred)
+    denominator = 0.5 * (h_true + h_pred) - emi
+    if abs(denominator) < 1e-15:
+        return 0.0
+    ami = (mi - emi) / denominator
+    return float(np.clip(ami, -1.0, 1.0))
+
+
+def homogeneity_score(labels_true, labels_pred) -> float:
+    """Homogeneity: each cluster contains only members of a single class."""
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred", n_samples=true.shape[0])
+    h_true = _entropy(np.unique(true, return_counts=True)[1])
+    if h_true == 0.0:
+        return 1.0
+    mi = mutual_information(true, pred)
+    return float(np.clip(mi / h_true, 0.0, 1.0))
+
+
+def completeness_score(labels_true, labels_pred) -> float:
+    """Completeness: all members of a class are assigned to the same cluster."""
+    return homogeneity_score(labels_pred, labels_true)
+
+
+def v_measure_score(labels_true, labels_pred, beta: float = 1.0) -> float:
+    """Harmonic mean of homogeneity and completeness."""
+    hom = homogeneity_score(labels_true, labels_pred)
+    com = completeness_score(labels_true, labels_pred)
+    if hom + com == 0.0:
+        return 0.0
+    return float((1 + beta) * hom * com / (beta * hom + com))
+
+
+def purity_score(labels_true, labels_pred) -> float:
+    """Purity: fraction of samples in the majority true class of their cluster."""
+    table = contingency_matrix(labels_true, labels_pred)
+    n = table.sum()
+    if n == 0:
+        return 1.0
+    return float(table.max(axis=0).sum() / n)
+
+
+def fowlkes_mallows_index(labels_true, labels_pred) -> float:
+    """Fowlkes-Mallows index: geometric mean of pairwise precision and recall."""
+    tn, fp, fn, tp = pair_confusion_matrix(labels_true, labels_pred).ravel()
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(np.sqrt(precision * recall))
+
+
+def clustering_report(labels_true, labels_pred) -> Dict[str, float]:
+    """Compute every measure at once (used by the benchmark harness)."""
+    return {
+        "ari": adjusted_rand_index(labels_true, labels_pred),
+        "ri": rand_index(labels_true, labels_pred),
+        "nmi": normalized_mutual_information(labels_true, labels_pred),
+        "ami": adjusted_mutual_information(labels_true, labels_pred),
+        "purity": purity_score(labels_true, labels_pred),
+        "vmeasure": v_measure_score(labels_true, labels_pred),
+        "fmi": fowlkes_mallows_index(labels_true, labels_pred),
+    }

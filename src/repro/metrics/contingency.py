@@ -1,0 +1,59 @@
+"""Contingency tables and pair-counting matrices for partition comparison."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_labels, check_consistent_length
+
+
+def contingency_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Contingency table between two labelings.
+
+    Entry ``(i, j)`` counts the samples with true class ``i`` and predicted
+    cluster ``j`` (classes/clusters are indexed by their sorted unique values).
+    """
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred", n_samples=true.shape[0])
+    classes, true_idx = np.unique(true, return_inverse=True)
+    clusters, pred_idx = np.unique(pred, return_inverse=True)
+    table = np.zeros((classes.size, clusters.size), dtype=np.int64)
+    np.add.at(table, (true_idx, pred_idx), 1)
+    return table
+
+
+def pair_confusion_matrix(labels_true, labels_pred) -> np.ndarray:
+    """2x2 pair confusion matrix ``[[TN, FP], [FN, TP]]`` over sample pairs.
+
+    Counts are over ordered pairs (each unordered pair counted twice), matching
+    the standard definition used to derive the (adjusted) Rand index.
+    """
+    true = check_labels(labels_true, name="labels_true")
+    pred = check_labels(labels_pred, name="labels_pred", n_samples=true.shape[0])
+    check_consistent_length(true, pred)
+    n = true.shape[0]
+    table = contingency_matrix(true, pred).astype(np.float64)
+    sum_squares = float(np.sum(table**2))
+    row_sums = table.sum(axis=1)
+    col_sums = table.sum(axis=0)
+    sum_rows_sq = float(np.sum(row_sums**2))
+    sum_cols_sq = float(np.sum(col_sums**2))
+
+    tp = sum_squares - n
+    fp = sum_cols_sq - sum_squares
+    fn = sum_rows_sq - sum_squares
+    tn = n**2 - n - tp - fp - fn
+    return np.array([[tn, fp], [fn, tp]], dtype=np.int64)
+
+
+def pair_counts(labels_true, labels_pred) -> Tuple[int, int, int, int]:
+    """Return ``(tn, fp, fn, tp)`` over unordered sample pairs."""
+    matrix = pair_confusion_matrix(labels_true, labels_pred)
+    return (
+        int(matrix[0, 0] // 2),
+        int(matrix[0, 1] // 2),
+        int(matrix[1, 0] // 2),
+        int(matrix[1, 1] // 2),
+    )

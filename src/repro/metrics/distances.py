@@ -1,0 +1,200 @@
+"""Time series distance measures.
+
+Implements the distances used across the paper's method population:
+
+* plain and z-normalised Euclidean distance (k-Means, feature spaces),
+* shape-based distance (SBD) built on the normalised cross-correlation,
+  which is the core of k-Shape,
+* dynamic time warping with an optional Sakoe-Chiba band (used by the
+  DTW-based baselines and by the interpretability quiz's "hard" mode).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array
+from repro.utils.normalization import znormalize
+
+
+def euclidean_distance(a, b) -> float:
+    """Euclidean distance between two equal-length vectors."""
+    x = check_array(a, name="a", ndim=1)
+    y = check_array(b, name="b", ndim=1)
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"series must have equal length, got {x.shape[0]} and {y.shape[0]}"
+        )
+    return float(np.sqrt(np.sum((x - y) ** 2)))
+
+
+def znormalized_euclidean_distance(a, b) -> float:
+    """Euclidean distance between the z-normalised versions of two series."""
+    return euclidean_distance(znormalize(a), znormalize(b))
+
+
+def cross_correlation(a, b) -> np.ndarray:
+    """Full normalised cross-correlation sequence (NCCc) between two series.
+
+    Returns an array of length ``2 * n - 1`` whose maximum is reached at the
+    shift best aligning ``b`` to ``a``.  Values are normalised by the product
+    of the L2 norms so they lie in [-1, 1].
+    """
+    x = check_array(a, name="a", ndim=1)
+    y = check_array(b, name="b", ndim=1)
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"series must have equal length, got {x.shape[0]} and {y.shape[0]}"
+        )
+    n = x.shape[0]
+    # FFT-based correlation: pad to the next power of two >= 2n-1 for speed.
+    size = 1 << int(np.ceil(np.log2(2 * n - 1)))
+    fx = np.fft.rfft(x, size)
+    fy = np.fft.rfft(y, size)
+    cc = np.fft.irfft(fx * np.conj(fy), size)
+    # Rearrange so index 0 corresponds to shift -(n-1) and 2n-2 to +(n-1).
+    cc = np.concatenate([cc[-(n - 1):], cc[:n]]) if n > 1 else cc[:1]
+    denom = float(np.linalg.norm(x) * np.linalg.norm(y))
+    if denom < 1e-12:
+        return np.zeros(2 * n - 1)
+    return cc / denom
+
+
+def sbd_distance(a, b, return_shift: bool = False):
+    """Shape-based distance: ``1 - max(NCCc(a, b))``.
+
+    This is the distance at the heart of k-Shape; it is shift-invariant and
+    lies in [0, 2].  When ``return_shift`` is true, also return the shift (in
+    samples) that maximises the cross-correlation, which k-Shape uses to align
+    members before extracting a new centroid.
+    """
+    ncc = cross_correlation(a, b)
+    best = int(np.argmax(ncc))
+    distance = float(1.0 - ncc[best])
+    if not return_shift:
+        return distance
+    n = (ncc.shape[0] + 1) // 2
+    shift = best - (n - 1)
+    return distance, int(shift)
+
+
+def align_by_sbd(reference, series) -> np.ndarray:
+    """Shift ``series`` so it best aligns with ``reference`` (zero-padded)."""
+    ref = check_array(reference, name="reference", ndim=1)
+    ser = check_array(series, name="series", ndim=1)
+    _, shift = sbd_distance(ref, ser, return_shift=True)
+    n = ser.shape[0]
+    aligned = np.zeros(n)
+    if shift >= 0:
+        aligned[shift:] = ser[: n - shift]
+    else:
+        aligned[: n + shift] = ser[-shift:]
+    return aligned
+
+
+def dtw_distance(a, b, window: Optional[int] = None) -> float:
+    """Dynamic time warping distance with an optional Sakoe-Chiba band.
+
+    Parameters
+    ----------
+    window:
+        Maximum allowed |i - j| misalignment.  ``None`` means unconstrained.
+    """
+    x = check_array(a, name="a", ndim=1)
+    y = check_array(b, name="b", ndim=1)
+    n, m = x.shape[0], y.shape[0]
+    if window is None:
+        band = max(n, m)
+    else:
+        if window < 0:
+            raise ValidationError(f"window must be non-negative, got {window}")
+        band = max(int(window), abs(n - m))
+
+    previous = np.full(m + 1, np.inf)
+    current = np.full(m + 1, np.inf)
+    previous[0] = 0.0
+    for i in range(1, n + 1):
+        current.fill(np.inf)
+        j_start = max(1, i - band)
+        j_end = min(m, i + band)
+        if j_start == 1:
+            current[0] = np.inf
+        for j in range(j_start, j_end + 1):
+            cost = (x[i - 1] - y[j - 1]) ** 2
+            current[j] = cost + min(previous[j], current[j - 1], previous[j - 1])
+        previous, current = current, previous
+    return float(np.sqrt(previous[m]))
+
+
+def dtw_path(a, b, window: Optional[int] = None) -> Tuple[float, list]:
+    """DTW distance plus the optimal warping path as a list of (i, j) pairs."""
+    x = check_array(a, name="a", ndim=1)
+    y = check_array(b, name="b", ndim=1)
+    n, m = x.shape[0], y.shape[0]
+    band = max(n, m) if window is None else max(int(window), abs(n - m))
+
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(max(1, i - band), min(m, i + band) + 1):
+            cost = (x[i - 1] - y[j - 1]) ** 2
+            acc[i, j] = cost + min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+
+    path = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        step = int(np.argmin([acc[i - 1, j - 1], acc[i - 1, j], acc[i, j - 1]]))
+        if step == 0:
+            i, j = i - 1, j - 1
+        elif step == 1:
+            i -= 1
+        else:
+            j -= 1
+    path.reverse()
+    return float(np.sqrt(acc[n, m])), path
+
+
+_METRIC_FUNCTIONS: dict = {
+    "euclidean": euclidean_distance,
+    "zeuclidean": znormalized_euclidean_distance,
+    "sbd": sbd_distance,
+    "dtw": dtw_distance,
+}
+
+
+def get_metric(name: str) -> Callable[[np.ndarray, np.ndarray], float]:
+    """Look up a distance function by name."""
+    key = name.strip().lower()
+    if key not in _METRIC_FUNCTIONS:
+        raise ValidationError(
+            f"unknown metric {name!r}; expected one of {sorted(_METRIC_FUNCTIONS)}"
+        )
+    return _METRIC_FUNCTIONS[key]
+
+
+def pairwise_distances(data, metric: str = "euclidean", **metric_kwargs) -> np.ndarray:
+    """Symmetric pairwise distance matrix for the rows of ``data``.
+
+    ``metric`` may be ``"euclidean"`` (vectorised fast path), ``"zeuclidean"``,
+    ``"sbd"`` or ``"dtw"``.
+    """
+    array = check_array(data, name="data", ndim=2, min_rows=1)
+    n = array.shape[0]
+    if metric == "euclidean" and not metric_kwargs:
+        squared = np.sum(array**2, axis=1)
+        gram = array @ array.T
+        dist2 = np.maximum(squared[:, None] + squared[None, :] - 2.0 * gram, 0.0)
+        return np.sqrt(dist2)
+    func = get_metric(metric)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = func(array[i], array[j], **metric_kwargs)
+            if isinstance(value, tuple):
+                value = value[0]
+            matrix[i, j] = matrix[j, i] = value
+    return matrix

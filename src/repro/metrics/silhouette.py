@@ -1,0 +1,100 @@
+"""Silhouette coefficient on precomputed distance matrices or raw features.
+
+The silhouette is used by the benchmark harness as an *internal* quality
+measure (no ground truth needed) and by the Under-the-hood frame to describe
+the per-length partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.utils.validation import check_array, check_labels
+
+
+def _validate_distance_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = check_array(matrix, name="distances", ndim=2)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError("distance matrix must be square")
+    if np.any(matrix < -1e-12):
+        raise ValidationError("distance matrix must be non-negative")
+    if not np.allclose(matrix, matrix.T, atol=1e-8):
+        raise ValidationError("distance matrix must be symmetric")
+    return matrix
+
+
+def silhouette_samples(
+    data,
+    labels,
+    *,
+    metric: str = "euclidean",
+    precomputed: bool = False,
+) -> np.ndarray:
+    """Per-sample silhouette values ``(b - a) / max(a, b)``.
+
+    Parameters
+    ----------
+    data:
+        Feature matrix, or a square distance matrix when ``precomputed``.
+    labels:
+        Cluster assignment per sample.
+    """
+    labels = check_labels(labels)
+    if precomputed:
+        distances = _validate_distance_matrix(data)
+    else:
+        distances = pairwise_distances(check_array(data, name="data", ndim=2), metric=metric)
+    n = distances.shape[0]
+    if labels.shape[0] != n:
+        raise ValidationError("labels length does not match the number of samples")
+
+    unique = np.unique(labels)
+    if unique.size < 2:
+        return np.zeros(n)
+
+    scores = np.zeros(n)
+    cluster_masks = {label: labels == label for label in unique}
+    for i in range(n):
+        own = labels[i]
+        own_mask = cluster_masks[own].copy()
+        own_mask[i] = False
+        own_size = int(own_mask.sum())
+        if own_size == 0:
+            scores[i] = 0.0
+            continue
+        a = float(distances[i, own_mask].mean())
+        b = np.inf
+        for label in unique:
+            if label == own:
+                continue
+            b = min(b, float(distances[i, cluster_masks[label]].mean()))
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return scores
+
+
+def silhouette_score(
+    data,
+    labels,
+    *,
+    metric: str = "euclidean",
+    precomputed: bool = False,
+    sample_size: Optional[int] = None,
+    random_state=None,
+) -> float:
+    """Mean silhouette over all samples (optionally a random subsample)."""
+    labels = check_labels(labels)
+    if sample_size is not None and sample_size < labels.shape[0]:
+        from repro.utils.validation import check_positive_int, check_random_state
+
+        sample_size = check_positive_int(sample_size, "sample_size", minimum=2)
+        rng = check_random_state(random_state)
+        idx = rng.choice(labels.shape[0], size=sample_size, replace=False)
+        data = np.asarray(data)[np.ix_(idx, idx)] if precomputed else np.asarray(data)[idx]
+        labels = labels[idx]
+    values = silhouette_samples(data, labels, metric=metric, precomputed=precomputed)
+    return float(values.mean())

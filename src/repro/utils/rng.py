@@ -1,0 +1,63 @@
+"""Reproducible random number generation helpers.
+
+Every stochastic component in the library accepts ``random_state`` and
+resolves it through :func:`repro.utils.validation.check_random_state`; the
+helpers here make it easy to derive independent child generators for
+multi-stage pipelines (one per subsequence length, one per restart, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int, check_random_state
+
+
+def spawn_rng(random_state, n_children: int) -> List[np.random.Generator]:
+    """Derive ``n_children`` statistically independent generators.
+
+    The derivation is deterministic given ``random_state`` so repeated runs of
+    a pipeline produce identical results, while the children remain
+    independent of each other (they each get their own stream).
+    """
+    n_children = check_positive_int(n_children, "n_children")
+    rng = check_random_state(random_state)
+    seeds = rng.integers(0, 2**31 - 1, size=n_children)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+class SeedSequencePool:
+    """A pool handing out deterministic child generators on demand.
+
+    Useful when the number of stochastic sub-tasks is not known upfront
+    (for example one generator per benchmark run).
+    """
+
+    def __init__(self, random_state: Union[None, int, np.random.Generator] = None) -> None:
+        self._root = check_random_state(random_state)
+        self._count = 0
+
+    def next_rng(self) -> np.random.Generator:
+        """Return the next child generator from the pool."""
+        self._count += 1
+        seed = int(self._root.integers(0, 2**31 - 1))
+        return np.random.default_rng(seed)
+
+    def next_seed(self) -> int:
+        """Return the next integer seed from the pool."""
+        self._count += 1
+        return int(self._root.integers(0, 2**31 - 1))
+
+    @property
+    def issued(self) -> int:
+        """Number of generators/seeds issued so far."""
+        return self._count
+
+    def iter_rngs(self, count: Optional[int] = None) -> Iterator[np.random.Generator]:
+        """Yield ``count`` child generators (or indefinitely when ``None``)."""
+        produced = 0
+        while count is None or produced < count:
+            yield self.next_rng()
+            produced += 1

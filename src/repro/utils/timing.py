@@ -1,0 +1,78 @@
+"""Lightweight timing utilities used by the benchmark harness and the GUI."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a human-friendly unit (µs, ms, s, min)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:04.1f}s"
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing sections.
+
+    Example
+    -------
+    >>> watch = Stopwatch()
+    >>> with watch.section("embedding"):
+    ...     _ = sum(range(10))
+    >>> "embedding" in watch.totals()
+    True
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _counts: Dict[str, int] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Time the enclosed block under ``name`` (re-entrant accumulation)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._totals:
+                self._totals[name] = 0.0
+                self._counts[name] = 0
+                self._order.append(name)
+            self._totals[name] += elapsed
+            self._counts[name] += 1
+
+    def totals(self) -> Dict[str, float]:
+        """Total elapsed seconds per section, in first-seen order."""
+        return {name: self._totals[name] for name in self._order}
+
+    def counts(self) -> Dict[str, int]:
+        """Number of times each section was entered."""
+        return {name: self._counts[name] for name in self._order}
+
+    def total(self) -> float:
+        """Sum of all section durations."""
+        return float(sum(self._totals.values()))
+
+    def report(self) -> str:
+        """Multi-line human-readable timing report."""
+        lines = []
+        for name in self._order:
+            lines.append(
+                f"{name:<28s} {format_duration(self._totals[name]):>10s}"
+                f"  (x{self._counts[name]})"
+            )
+        lines.append(f"{'total':<28s} {format_duration(self.total()):>10s}")
+        return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Sliding-window (subsequence) extraction utilities.
+
+The k-Graph embedding operates on *all* overlapping subsequences of every
+series for several subsequence lengths; these helpers produce them as
+stride-tricked views (no copy) wherever possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_array, check_positive_int
+
+
+def subsequence_count(series_length: int, window: int, stride: int = 1) -> int:
+    """Number of windows of size ``window`` with ``stride`` in a series of given length."""
+    series_length = check_positive_int(series_length, "series_length")
+    window = check_positive_int(window, "window")
+    stride = check_positive_int(stride, "stride")
+    if window > series_length:
+        return 0
+    return (series_length - window) // stride + 1
+
+
+def sliding_window_matrix(series, window: int, stride: int = 1) -> np.ndarray:
+    """Return all subsequences of ``series`` as a (n_windows, window) matrix.
+
+    The result is a copy (C-contiguous) so callers may normalise it in place.
+    """
+    array = check_array(series, name="series", ndim=1, min_rows=1)
+    window = check_positive_int(window, "window")
+    stride = check_positive_int(stride, "stride")
+    if window > array.shape[0]:
+        raise ValidationError(
+            f"window ({window}) is larger than the series length ({array.shape[0]})"
+        )
+    view = np.lib.stride_tricks.sliding_window_view(array, window)[::stride]
+    return np.ascontiguousarray(view)
+
+
+def pad_series(series, target_length: int, mode: str = "edge") -> np.ndarray:
+    """Pad ``series`` on the right up to ``target_length`` points."""
+    array = check_array(series, name="series", ndim=1, min_rows=1)
+    target_length = check_positive_int(target_length, "target_length")
+    if target_length <= array.shape[0]:
+        return array[:target_length].copy()
+    pad = target_length - array.shape[0]
+    if mode not in {"edge", "zero", "wrap"}:
+        raise ValidationError(f"unknown padding mode {mode!r}")
+    if mode == "zero":
+        return np.concatenate([array, np.zeros(pad)])
+    if mode == "wrap":
+        return np.concatenate([array, np.resize(array, pad)])
+    return np.concatenate([array, np.full(pad, array[-1])])
+
+
+def subsequences_of_dataset(
+    data, window: int, stride: int = 1
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Extract subsequences from every series of a dataset.
+
+    Returns
+    -------
+    subsequences:
+        Array of shape ``(total_windows, window)``.
+    series_index:
+        For each subsequence, the index of the series it came from.
+    position_index:
+        For each subsequence, its starting offset within its series.
+    """
+    array = check_array(data, name="data", ndim=2, min_rows=1)
+    window = check_positive_int(window, "window")
+    if window > array.shape[1]:
+        raise ValidationError(
+            f"window ({window}) is larger than the series length ({array.shape[1]})"
+        )
+    all_windows: List[np.ndarray] = []
+    series_index: List[np.ndarray] = []
+    position_index: List[np.ndarray] = []
+    for i, row in enumerate(array):
+        windows = sliding_window_matrix(row, window, stride)
+        all_windows.append(windows)
+        series_index.append(np.full(windows.shape[0], i, dtype=int))
+        position_index.append(np.arange(0, windows.shape[0] * stride, stride, dtype=int))
+    return (
+        np.vstack(all_windows),
+        np.concatenate(series_index),
+        np.concatenate(position_index),
+    )
+
+
+def length_grid(series_length: int, n_lengths: int, minimum: int = 8, maximum_fraction: float = 0.4) -> List[int]:
+    """Build the grid of subsequence lengths used by the k-Graph embedding.
+
+    Lengths are spread geometrically between ``minimum`` and
+    ``maximum_fraction * series_length`` and deduplicated, mirroring the
+    multi-length design of the paper (M graphs for M lengths).
+    """
+    series_length = check_positive_int(series_length, "series_length", minimum=4)
+    n_lengths = check_positive_int(n_lengths, "n_lengths")
+    minimum = check_positive_int(minimum, "minimum", minimum=2)
+    upper = max(minimum + 1, int(series_length * maximum_fraction))
+    upper = min(upper, series_length - 1)
+    if upper <= minimum:
+        return [min(minimum, series_length - 1)]
+    values = np.unique(
+        np.round(np.geomspace(minimum, upper, n_lengths)).astype(int)
+    )
+    return [int(v) for v in values if v >= 2]

@@ -1,0 +1,170 @@
+"""``graphint`` command-line interface.
+
+Sub-commands:
+
+* ``graphint datasets``                       — list the dataset catalogue
+* ``graphint cluster  --dataset NAME``        — run k-Graph and print a report
+* ``graphint dashboard --dataset NAME -o F``  — write the static HTML dashboard
+* ``graphint benchmark -o results.json``      — run the benchmark campaign
+* ``graphint serve --port 8050``              — start the interactive server
+* ``graphint quiz --dataset NAME``            — run the simulated interpretability test
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.benchmark.aggregate import summarize_by_method
+from repro.benchmark.runner import BenchmarkRunner
+from repro.benchmark.store import load_results, save_results
+from repro.datasets.catalogue import default_catalogue
+from repro.metrics.clustering import adjusted_rand_index
+from repro.viz.dashboard import build_dashboard
+from repro.viz.session import GraphintSession
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="graphint",
+        description="Graphint: graph-based interpretable time series clustering tool",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list available datasets")
+
+    cluster = subparsers.add_parser("cluster", help="run k-Graph on one dataset")
+    cluster.add_argument("--dataset", default="cylinder_bell_funnel")
+    cluster.add_argument("--clusters", type=int, default=None)
+    cluster.add_argument("--lengths", type=int, default=4, help="number of subsequence lengths")
+    cluster.add_argument("--seed", type=int, default=0)
+
+    dashboard = subparsers.add_parser("dashboard", help="build the static HTML dashboard")
+    dashboard.add_argument("--dataset", default="cylinder_bell_funnel")
+    dashboard.add_argument("--output", "-o", default="graphint_dashboard.html")
+    dashboard.add_argument("--benchmark-file", default=None, help="JSON results to feed the Benchmark frame")
+    dashboard.add_argument("--seed", type=int, default=0)
+
+    benchmark = subparsers.add_parser("benchmark", help="run the benchmark campaign")
+    benchmark.add_argument("--output", "-o", default="benchmark_results.json")
+    benchmark.add_argument("--methods", nargs="*", default=None)
+    benchmark.add_argument("--datasets", nargs="*", default=None)
+    benchmark.add_argument("--runs", type=int, default=1)
+    benchmark.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser("serve", help="start the interactive dashboard server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8050)
+    serve.add_argument("--benchmark-file", default=None)
+    serve.add_argument("--seed", type=int, default=0)
+
+    quiz = subparsers.add_parser("quiz", help="run the simulated interpretability test")
+    quiz.add_argument("--dataset", default="cylinder_bell_funnel")
+    quiz.add_argument("--users", type=int, default=5)
+    quiz.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    catalogue = default_catalogue()
+    rows = catalogue.summary_rows()
+    width = max(len(row["name"]) for row in rows)
+    print(f"{'name':<{width}}  type                 series  length  classes")
+    for row in rows:
+        print(
+            f"{row['name']:<{width}}  {row['type']:<20} {row['n_series']:>6}  "
+            f"{row['length']:>6}  {row['n_classes']:>7}"
+        )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    session = GraphintSession(
+        dataset,
+        n_clusters=args.clusters,
+        n_lengths=args.lengths,
+        random_state=args.seed,
+    ).fit()
+    summary = session.summary()
+    print(f"dataset            : {dataset.name} ({dataset.n_series} x {dataset.length})")
+    print(f"clusters (k)       : {session.n_clusters}")
+    print(f"optimal length     : {summary['optimal_length']}")
+    for method, ari in sorted(summary["ari"].items()):
+        print(f"ARI {method:<14} : {ari:.3f}")
+    return 0
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    session = GraphintSession(dataset, random_state=args.seed)
+    benchmark_results = load_results(args.benchmark_file) if args.benchmark_file else None
+    build_dashboard(session, benchmark_results=benchmark_results, output_path=args.output)
+    print(f"dashboard written to {Path(args.output).resolve()}")
+    return 0
+
+
+def _cmd_benchmark(args: argparse.Namespace) -> int:
+    runner = BenchmarkRunner(args.methods, n_runs=args.runs, random_state=args.seed)
+
+    def progress(method: str, dataset: str, result) -> None:
+        status = "FAILED" if result.failed else f"ari={result.measures.get('ari', float('nan')):.3f}"
+        print(f"[{dataset:<22}] {method:<16} {status}")
+
+    results = runner.run(args.datasets, progress=progress)
+    save_results(results, args.output)
+    print(f"\nresults written to {Path(args.output).resolve()}")
+    print("\nmean scores per method:")
+    for method, values in sorted(summarize_by_method(results).items()):
+        ari = values.get("ari", float("nan"))
+        print(f"  {method:<16} ari={ari:.3f}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.viz.server import DashboardApplication, serve_dashboard
+
+    benchmark_results = load_results(args.benchmark_file) if args.benchmark_file else None
+    application = DashboardApplication(
+        benchmark_results=benchmark_results, random_state=args.seed
+    )
+    print(f"serving Graphint on http://{args.host}:{args.port} (Ctrl+C to stop)")
+    serve_dashboard(application, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_quiz(args: argparse.Namespace) -> int:
+    dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    session = GraphintSession(dataset, random_state=args.seed).fit()
+    session.build_quizzes(n_users=args.users)
+    print(f"interpretability test on {dataset.name} ({args.users} simulated users)")
+    for method, score in sorted(session.quiz_scores.items(), key=lambda item: -item[1]):
+        print(f"  {method:<10} score = {score:.2f}")
+    best = max(session.quiz_scores, key=session.quiz_scores.get)
+    print(f"most interpretable representation: {best}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "cluster": _cmd_cluster,
+    "dashboard": _cmd_dashboard,
+    "benchmark": _cmd_benchmark,
+    "serve": _cmd_serve,
+    "quiz": _cmd_quiz,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``graphint`` console script)."""
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The five Graphint frames (Fig. 2 / Fig. 3), rendered as HTML fragments.
+
+Each frame builder takes the relevant fitted artifacts (dataset, a fitted
+:class:`~repro.core.kgraph.KGraph`, baseline labels, benchmark results, ...)
+and returns a :class:`~repro.viz.frames.base.Frame` whose ``to_html()`` is a
+self-contained ``<section>`` ready to be embedded in the dashboard.
+"""
+
+from repro.viz.frames.base import Frame, Panel
+from repro.viz.frames.clustering_comparison import build_clustering_comparison_frame
+from repro.viz.frames.benchmark import build_benchmark_frame
+from repro.viz.frames.graph_frame import build_graph_frame
+from repro.viz.frames.interpretability import build_interpretability_frame
+from repro.viz.frames.under_the_hood import build_under_the_hood_frame
+
+__all__ = [
+    "Frame",
+    "Panel",
+    "build_benchmark_frame",
+    "build_clustering_comparison_frame",
+    "build_graph_frame",
+    "build_interpretability_frame",
+    "build_under_the_hood_frame",
+]

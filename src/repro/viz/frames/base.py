@@ -1,0 +1,98 @@
+"""HTML building blocks shared by every Graphint frame."""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import VisualizationError
+
+
+@dataclass
+class Panel:
+    """One titled sub-window of a frame (an SVG plot, a table, or text)."""
+
+    title: str
+    svg: Optional[str] = None
+    html_body: Optional[str] = None
+    caption: str = ""
+
+    def to_html(self) -> str:
+        """Render the panel as a ``<div class="panel">`` block."""
+        if self.svg is None and self.html_body is None:
+            raise VisualizationError(f"panel {self.title!r} has no content")
+        body = self.svg if self.svg is not None else self.html_body
+        caption = (
+            f'<p class="caption">{html.escape(self.caption)}</p>' if self.caption else ""
+        )
+        return (
+            '<div class="panel">'
+            f"<h3>{html.escape(self.title)}</h3>"
+            f"{body}"
+            f"{caption}"
+            "</div>"
+        )
+
+
+@dataclass
+class Frame:
+    """A full Graphint frame: a title, an intro paragraph and a set of panels."""
+
+    frame_id: str
+    title: str
+    description: str = ""
+    panels: List[Panel] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_panel(self, panel: Panel) -> None:
+        """Append a panel to the frame."""
+        self.panels.append(panel)
+
+    def to_html(self) -> str:
+        """Render the frame as a ``<section>`` with a flexbox panel grid."""
+        if not self.panels:
+            raise VisualizationError(f"frame {self.frame_id!r} has no panels")
+        panels_html = "\n".join(panel.to_html() for panel in self.panels)
+        description = (
+            f'<p class="frame-description">{html.escape(self.description)}</p>'
+            if self.description
+            else ""
+        )
+        return (
+            f'<section class="frame" id="{html.escape(self.frame_id)}">'
+            f"<h2>{html.escape(self.title)}</h2>"
+            f"{description}"
+            f'<div class="panel-grid">{panels_html}</div>'
+            "</section>"
+        )
+
+
+def html_table(
+    rows: Sequence[Dict[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.3f}",
+    max_rows: int = 200,
+) -> str:
+    """Render a list of dictionaries as an HTML table."""
+    if not rows:
+        raise VisualizationError("html_table needs at least one row")
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = "".join(f"<th>{html.escape(str(column))}</th>" for column in columns)
+    body_rows = []
+    for row in list(rows)[:max_rows]:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                value = float_format.format(value)
+            cells.append(f"<td>{html.escape(str(value))}</td>")
+        body_rows.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        '<table class="data-table">'
+        f"<thead><tr>{header}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody>"
+        "</table>"
+    )

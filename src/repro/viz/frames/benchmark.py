@@ -1,0 +1,123 @@
+"""Benchmark frame (Fig. 3, frame 1.2).
+
+A box plot compares k-Graph against the 14 baselines on the selected
+evaluation measure, after applying the user's filters on dataset type,
+series length, number of classes and number of series.  A mean-rank table
+summarises the same population.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.benchmark.aggregate import (
+    boxplot_summary,
+    filter_results,
+    mean_rank_table,
+    summarize_by_method,
+)
+from repro.benchmark.runner import BenchmarkResult
+from repro.exceptions import VisualizationError
+from repro.viz.frames.base import Frame, Panel, html_table
+from repro.viz.plots import box_plot
+
+
+def build_benchmark_frame(
+    results: Sequence[BenchmarkResult],
+    *,
+    measure: str = "ari",
+    dataset_type: Optional[str] = None,
+    min_length: Optional[int] = None,
+    max_length: Optional[int] = None,
+    min_classes: Optional[int] = None,
+    max_classes: Optional[int] = None,
+    min_series: Optional[int] = None,
+    max_series: Optional[int] = None,
+) -> Frame:
+    """Build the frame from benchmark results and the user's filters."""
+    if not results:
+        raise VisualizationError("no benchmark results to display")
+    filtered = filter_results(
+        results,
+        dataset_type=dataset_type,
+        min_length=min_length,
+        max_length=max_length,
+        min_classes=min_classes,
+        max_classes=max_classes,
+        min_series=min_series,
+        max_series=max_series,
+    )
+    if not filtered:
+        raise VisualizationError("the selected filters exclude every benchmark result")
+
+    distributions = {
+        method: [stats]  # placeholder replaced below; keeps key order stable
+        for method, stats in boxplot_summary(filtered, measure).items()
+    }
+    # Rebuild the raw per-method distributions for the box plot.
+    distributions = {}
+    for result in filtered:
+        if result.failed or measure not in result.measures:
+            continue
+        distributions.setdefault(result.method, []).append(result.measures[measure])
+
+    frame = Frame(
+        frame_id="benchmark",
+        title="Compare Methods: Benchmark",
+        description=(
+            f"Distribution of the {measure.upper()} measure for k-Graph and the "
+            "baselines over the filtered dataset population."
+        ),
+        metadata={
+            "measure": measure,
+            "n_results": len(filtered),
+            "filters": {
+                "dataset_type": dataset_type,
+                "min_length": min_length,
+                "max_length": max_length,
+                "min_classes": min_classes,
+                "max_classes": max_classes,
+                "min_series": min_series,
+                "max_series": max_series,
+            },
+        },
+    )
+    frame.add_panel(
+        Panel(
+            title=f"{measure.upper()} per method",
+            svg=box_plot(
+                distributions,
+                title=f"{measure.upper()} across datasets",
+                y_label=measure.upper(),
+                highlight="kgraph",
+            ),
+            caption=f"{len(filtered)} (method, dataset) results after filtering.",
+        )
+    )
+
+    summary = summarize_by_method(filtered)
+    rows = [
+        {"method": method, **{k: v for k, v in sorted(values.items())}}
+        for method, values in sorted(summary.items())
+    ]
+    frame.add_panel(
+        Panel(
+            title="Mean score per method",
+            html_body=html_table(rows),
+            caption="Average of each evaluation measure (and runtime) per method.",
+        )
+    )
+
+    ranks = mean_rank_table(filtered, measure)
+    rank_rows = [
+        {"method": method, "mean_rank": rank}
+        for method, rank in sorted(ranks.items(), key=lambda item: item[1])
+    ]
+    frame.add_panel(
+        Panel(
+            title=f"Mean rank ({measure.upper()})",
+            html_body=html_table(rank_rows),
+            caption="1 = best; average rank of each method across the filtered datasets.",
+        )
+    )
+    return frame

@@ -1,0 +1,119 @@
+"""Interpretability-test frame (Fig. 3, frame 3).
+
+Renders the quiz of Scenario 1: the per-cluster representations of the
+selected method (centroids or graphoid patterns), the five query series, and
+— once answered — the score comparison across methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import VisualizationError
+from repro.interpret.quiz import Quiz
+from repro.viz.frames.base import Frame, Panel, html_table
+from repro.viz.plots import bar_chart, line_plot
+from repro.viz.theme import color_for_cluster
+
+
+def _representation_panel(quiz: Quiz) -> Panel:
+    """Panel showing the cluster representations the participant sees."""
+    series = []
+    labels = []
+    for cluster, representation in sorted(quiz.representations.items()):
+        if representation.kind == "centroid":
+            series.append(representation.centroid)
+            labels.append(cluster)
+        else:
+            for pattern in representation.patterns:
+                series.append(pattern)
+                labels.append(cluster)
+    if not series:
+        raise VisualizationError("quiz representations are empty")
+    kind = next(iter(quiz.representations.values())).kind
+    title = "cluster centroids" if kind == "centroid" else "graphoid patterns per cluster"
+    return Panel(
+        title=f"{quiz.method}: {title}",
+        svg=line_plot(series, labels=labels, title=title),
+        caption="One colour per cluster; these are the only hints available to the participant.",
+    )
+
+
+def build_interpretability_frame(
+    quizzes: Dict[str, Quiz],
+    scores: Optional[Dict[str, float]] = None,
+) -> Frame:
+    """Build the frame from per-method quizzes (answered or not).
+
+    Parameters
+    ----------
+    quizzes:
+        Mapping method name -> quiz on the same dataset.
+    scores:
+        Optional mapping method -> average participant score; when omitted and
+        the quizzes carry answers, each quiz's own score is used.
+    """
+    if not quizzes:
+        raise VisualizationError("at least one quiz is required")
+    first = next(iter(quizzes.values()))
+
+    frame = Frame(
+        frame_id="interpretability-test",
+        title="Interpretability test",
+        description=(
+            f"Assign each of the {first.n_questions} series of {first.dataset_name} to a "
+            "cluster, given only each method's cluster representation. A higher score "
+            "means the representation explains the clustering better."
+        ),
+        metadata={"dataset": first.dataset_name, "methods": sorted(quizzes)},
+    )
+
+    for method in sorted(quizzes):
+        frame.add_panel(_representation_panel(quizzes[method]))
+
+    # The question series (coloured by the answer of the first quiz if present).
+    question_series = [question.series for question in first.questions]
+    frame.add_panel(
+        Panel(
+            title="Quiz questions",
+            svg=line_plot(
+                question_series,
+                labels=list(range(len(question_series))),
+                title="which cluster was each series assigned to?",
+            ),
+            caption="The five randomly drawn series the participant must assign.",
+        )
+    )
+
+    if scores is None:
+        scores = {
+            method: quiz.score() for method, quiz in quizzes.items() if quiz.answers
+        }
+    if scores:
+        colors = {method: color_for_cluster(i) for i, method in enumerate(sorted(scores))}
+        frame.add_panel(
+            Panel(
+                title="Participant score per method",
+                svg=bar_chart(
+                    {method: scores[method] for method in sorted(scores)},
+                    title="fraction of correct assignments",
+                    colors=colors,
+                ),
+                caption="Higher = the cluster representation is more interpretable.",
+            )
+        )
+        rows = [
+            {"method": method, "score": score, "n_questions": quizzes[method].n_questions}
+            for method, score in sorted(scores.items(), key=lambda item: -item[1])
+        ]
+        frame.add_panel(
+            Panel(
+                title="Scores",
+                html_body=html_table(rows),
+                caption="Average fraction of questions answered correctly.",
+            )
+        )
+        frame.metadata["scores"] = dict(scores)
+    return frame

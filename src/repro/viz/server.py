@@ -1,0 +1,160 @@
+"""Interactive dashboard server (stdlib ``http.server``).
+
+The Streamlit app's widgets are replaced by query parameters:
+
+* ``/``                      — dashboard for the default dataset
+* ``/?dataset=<name>``       — pick another catalogue dataset
+* ``&lam=0.6&gam=0.7``       — graphoid colouring thresholds
+* ``&node=12``               — selected node of the Graph frame
+* ``&measure=nmi``           — Benchmark-frame measure
+* ``/datasets``              — JSON list of available datasets
+* ``/summary?dataset=<name>``— JSON session summary
+
+Sessions are cached per (dataset, seed) so switching widgets does not refit
+the models, mirroring Streamlit's ``@st.cache_resource`` behaviour.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.benchmark.runner import BenchmarkResult
+from repro.datasets.catalogue import DatasetCatalogue, default_catalogue
+from repro.exceptions import VisualizationError
+from repro.viz.dashboard import build_dashboard
+from repro.viz.session import GraphintSession
+
+
+class DashboardApplication:
+    """Request-independent application state (catalogue, cached sessions)."""
+
+    def __init__(
+        self,
+        *,
+        catalogue: Optional[DatasetCatalogue] = None,
+        benchmark_results: Optional[Sequence[BenchmarkResult]] = None,
+        random_state: int = 0,
+        n_lengths: int = 4,
+    ) -> None:
+        self.catalogue = catalogue if catalogue is not None else default_catalogue()
+        self.benchmark_results = list(benchmark_results) if benchmark_results else []
+        self.random_state = int(random_state)
+        self.n_lengths = int(n_lengths)
+        self._sessions: Dict[str, GraphintSession] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def session_for(self, dataset_name: str) -> GraphintSession:
+        """Return (and cache) the fitted session for ``dataset_name``."""
+        with self._lock:
+            if dataset_name not in self._sessions:
+                dataset = self.catalogue.get(dataset_name).generate(
+                    random_state=self.random_state
+                )
+                session = GraphintSession(
+                    dataset,
+                    n_lengths=self.n_lengths,
+                    random_state=self.random_state,
+                )
+                session.fit()
+                session.build_quizzes()
+                self._sessions[dataset_name] = session
+            return self._sessions[dataset_name]
+
+    def default_dataset(self) -> str:
+        """The dataset shown when none is requested."""
+        names = self.catalogue.names()
+        if not names:
+            raise VisualizationError("the catalogue is empty")
+        return "cylinder_bell_funnel" if "cylinder_bell_funnel" in names else names[0]
+
+    # ------------------------------------------------------------------ #
+    def handle(self, path: str) -> Tuple[int, str, str]:
+        """Route a request path to (status, content_type, body)."""
+        parsed = urlparse(path)
+        params = {key: values[0] for key, values in parse_qs(parsed.query).items()}
+        route = parsed.path.rstrip("/") or "/"
+
+        if route == "/datasets":
+            return 200, "application/json", json.dumps(self.catalogue.summary_rows(), indent=2)
+
+        dataset_name = params.get("dataset", self.default_dataset())
+        if dataset_name not in self.catalogue:
+            return 404, "text/plain", f"unknown dataset {dataset_name!r}"
+
+        if route == "/summary":
+            session = self.session_for(dataset_name)
+            return 200, "application/json", json.dumps(session.summary(), indent=2, default=float)
+
+        if route == "/":
+            session = self.session_for(dataset_name)
+            try:
+                lam = float(params["lam"]) if "lam" in params else None
+                gam = float(params["gam"]) if "gam" in params else None
+                node = int(params["node"]) if "node" in params else None
+            except ValueError:
+                return 400, "text/plain", "lam/gam must be floats and node an integer"
+            measure = params.get("measure", "ari")
+            try:
+                page = build_dashboard(
+                    session,
+                    benchmark_results=self.benchmark_results,
+                    measure=measure,
+                    lambda_threshold=lam,
+                    gamma_threshold=gam,
+                    selected_node=node,
+                )
+            except Exception as exc:  # noqa: BLE001 - surface rendering errors as 500s
+                return 500, "text/plain", f"rendering failed: {exc}"
+            return 200, "text/html", page
+
+        return 404, "text/plain", f"unknown route {route!r}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter over :class:`DashboardApplication`."""
+
+    application: DashboardApplication = None  # injected by serve_dashboard
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming convention
+        status, content_type, body = self.application.handle(self.path)
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):  # noqa: A002 - silence default logging
+        return
+
+
+def serve_dashboard(
+    application: Optional[DashboardApplication] = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8050,
+    poll: bool = True,
+) -> ThreadingHTTPServer:
+    """Start the dashboard HTTP server.
+
+    When ``poll`` is true the call blocks (``serve_forever``); otherwise the
+    configured server object is returned so the caller can drive it (tests use
+    this to issue a single request).
+    """
+    if application is None:
+        application = DashboardApplication()
+    handler = type("BoundHandler", (_Handler,), {"application": application})
+    server = ThreadingHTTPServer((host, port), handler)
+    if poll:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+    return server

@@ -1,0 +1,147 @@
+"""Analysis session: every artifact the dashboard needs for one dataset.
+
+A :class:`GraphintSession` mirrors what the Streamlit app computes when the
+user picks a dataset from the sidebar: it fits k-Graph and the two reference
+baselines (k-Means, k-Shape), builds the quiz representations, and exposes
+the fitted objects to the frame builders.  The session caches everything so
+the dashboard/server can re-render frames with different widget values (λ, γ,
+selected node, measure) without recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.cluster.kshape import KShape
+from repro.core.kgraph import KGraph
+from repro.exceptions import ValidationError
+from repro.interpret.quiz import Quiz, build_quiz
+from repro.interpret.representations import (
+    centroid_representation,
+    graphoid_representation,
+)
+from repro.interpret.user_model import score_methods
+from repro.utils.containers import TimeSeriesDataset
+from repro.utils.normalization import znormalize_dataset
+from repro.utils.rng import SeedSequencePool
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class GraphintSession:
+    """Fitted artifacts for one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The labelled dataset to analyse.
+    n_clusters:
+        Number of clusters; defaults to the dataset's number of classes.
+    n_lengths:
+        Number of subsequence lengths for the k-Graph grid.
+    random_state:
+        Seed controlling every stochastic step of the session.
+    """
+
+    dataset: TimeSeriesDataset
+    n_clusters: Optional[int] = None
+    n_lengths: int = 4
+    random_state: Optional[int] = None
+
+    kgraph: KGraph = field(init=False)
+    method_labels: Dict[str, np.ndarray] = field(init=False, default_factory=dict)
+    quizzes: Dict[str, Quiz] = field(init=False, default_factory=dict)
+    quiz_scores: Dict[str, float] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dataset.labels is None:
+            raise ValidationError("GraphintSession requires a labelled dataset")
+        if self.n_clusters is None:
+            self.n_clusters = max(self.dataset.n_classes, 2)
+        self.n_clusters = check_positive_int(self.n_clusters, "n_clusters", minimum=2)
+        self.n_lengths = check_positive_int(self.n_lengths, "n_lengths")
+        self._pool = SeedSequencePool(self.random_state)
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self) -> "GraphintSession":
+        """Fit k-Graph, k-Means and k-Shape on the dataset."""
+        if self._fitted:
+            return self
+        data = self.dataset.data
+
+        self.kgraph = KGraph(
+            n_clusters=self.n_clusters,
+            n_lengths=self.n_lengths,
+            random_state=self._pool.next_seed(),
+        )
+        self.method_labels["kgraph"] = self.kgraph.fit_predict(data)
+
+        kmeans = KMeans(
+            n_clusters=self.n_clusters, n_init=5, random_state=self._pool.next_seed()
+        )
+        self.method_labels["kmeans"] = kmeans.fit_predict(znormalize_dataset(data))
+
+        kshape = KShape(
+            n_clusters=self.n_clusters, n_init=2, random_state=self._pool.next_seed()
+        )
+        self.method_labels["kshape"] = kshape.fit_predict(data)
+
+        self._fitted = True
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise ValidationError("session is not fitted yet; call fit() first")
+
+    # ------------------------------------------------------------------ #
+    def build_quizzes(self, *, n_questions: int = 5, n_users: int = 5) -> Dict[str, Quiz]:
+        """Build and answer the interpretability quizzes for all three methods."""
+        self._check_fitted()
+        if self.quizzes:
+            return self.quizzes
+        seed = self._pool.next_seed()
+        representations = {
+            "kmeans": centroid_representation(
+                "kmeans", self.dataset.data, self.method_labels["kmeans"]
+            ),
+            "kshape": centroid_representation(
+                "kshape", self.dataset.data, self.method_labels["kshape"]
+            ),
+            "kgraph": graphoid_representation(self.kgraph),
+        }
+        for method, reps in representations.items():
+            self.quizzes[method] = build_quiz(
+                self.dataset,
+                method,
+                self.method_labels[method],
+                reps,
+                n_questions=n_questions,
+                random_state=seed,  # same questions for every method, as in the demo
+            )
+        self.quiz_scores = score_methods(
+            self.quizzes,
+            n_users=n_users,
+            random_state=self._pool.next_seed(),
+        )
+        return self.quizzes
+
+    def summary(self) -> Dict[str, object]:
+        """Session-level summary (used by the dashboard header and tests)."""
+        self._check_fitted()
+        from repro.metrics.clustering import adjusted_rand_index
+
+        return {
+            "dataset": self.dataset.summary(),
+            "n_clusters": self.n_clusters,
+            "ari": {
+                method: adjusted_rand_index(self.dataset.labels, labels)
+                for method, labels in self.method_labels.items()
+            },
+            "optimal_length": self.kgraph.optimal_length_,
+            "quiz_scores": dict(self.quiz_scores),
+        }

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are intentionally small (tens of series, short lengths) so the whole
+suite runs quickly; the session-scoped fitted models are reused by every test
+that only needs to *read* a fitted pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kgraph import KGraph
+from repro.datasets.synthetic import make_cylinder_bell_funnel, make_sine_families
+from repro.utils.containers import TimeSeriesDataset
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic generator for ad-hoc random data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> TimeSeriesDataset:
+    """A small labelled pattern dataset (3 classes, 24 series of length 64)."""
+    return make_cylinder_bell_funnel(n_series=24, length=64, noise=0.2, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def periodic_dataset() -> TimeSeriesDataset:
+    """A small periodic dataset (3 sine families)."""
+    return make_sine_families(n_series=18, length=64, noise=0.2, random_state=1)
+
+
+@pytest.fixture(scope="session")
+def blob_data() -> tuple:
+    """Well-separated Gaussian blobs in 2-D plus their true assignment."""
+    generator = np.random.default_rng(7)
+    centers = np.array([[0.0, 0.0], [6.0, 6.0], [0.0, 8.0]])
+    points = []
+    labels = []
+    for label, center in enumerate(centers):
+        points.append(generator.normal(0.0, 0.5, size=(20, 2)) + center)
+        labels.extend([label] * 20)
+    return np.vstack(points), np.asarray(labels)
+
+
+@pytest.fixture(scope="session")
+def fitted_kgraph(small_dataset) -> KGraph:
+    """A k-Graph model fitted once and shared by read-only tests."""
+    model = KGraph(n_clusters=3, n_lengths=3, random_state=0)
+    model.fit(small_dataset.data)
+    return model

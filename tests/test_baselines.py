@@ -1,0 +1,125 @@
+"""Unit tests for the neural substrate, deep baselines and the method registry."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deep import DAEClustering, DTCClustering, SOMVAEClustering
+from repro.baselines.neural import DenseAutoencoder
+from repro.baselines.registry import (
+    all_baseline_names,
+    available_methods,
+    get_method,
+    run_method,
+)
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.clustering import adjusted_rand_index
+
+
+class TestDenseAutoencoder:
+    def test_loss_decreases(self, rng):
+        data = rng.normal(size=(60, 20))
+        model = DenseAutoencoder(latent_dim=4, n_epochs=30, random_state=0).fit(data)
+        assert model.losses_[-1] < model.losses_[0]
+
+    def test_encode_shape(self, rng):
+        data = rng.normal(size=(40, 16))
+        model = DenseAutoencoder(latent_dim=3, n_epochs=10, random_state=0).fit(data)
+        assert model.encode(data).shape == (40, 3)
+
+    def test_reconstruction_better_than_mean_baseline(self, rng):
+        # Structured data: the AE must beat predicting the column means.
+        latent = rng.normal(size=(80, 2))
+        mixing = rng.normal(size=(2, 12))
+        data = latent @ mixing + rng.normal(0, 0.05, size=(80, 12))
+        model = DenseAutoencoder(latent_dim=2, n_epochs=120, random_state=0).fit(data)
+        baseline = float(np.mean((data - data.mean(axis=0)) ** 2))
+        assert model.reconstruction_error(data) < baseline
+
+    def test_deterministic(self, rng):
+        data = rng.normal(size=(30, 10))
+        a = DenseAutoencoder(latent_dim=2, n_epochs=5, random_state=7).fit(data).encode(data)
+        b = DenseAutoencoder(latent_dim=2, n_epochs=5, random_state=7).fit(data).encode(data)
+        assert np.allclose(a, b)
+
+    def test_not_fitted(self, rng):
+        with pytest.raises(NotFittedError):
+            DenseAutoencoder().encode(rng.normal(size=(3, 5)))
+
+    def test_feature_mismatch(self, rng):
+        model = DenseAutoencoder(latent_dim=2, n_epochs=3, random_state=0).fit(rng.normal(size=(20, 8)))
+        with pytest.raises(ValidationError):
+            model.encode(rng.normal(size=(2, 9)))
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValidationError):
+            DenseAutoencoder(learning_rate=0.0)
+
+
+class TestDeepBaselines:
+    @pytest.mark.parametrize("cls", [DAEClustering, DTCClustering, SOMVAEClustering])
+    def test_produces_requested_clusters(self, cls, small_dataset):
+        model = cls(n_clusters=3, n_epochs=15, random_state=0)
+        labels = model.fit_predict(small_dataset.data)
+        assert labels.shape == (small_dataset.n_series,)
+        assert np.unique(labels).size <= 3
+
+    def test_dae_beats_chance_on_separable_data(self, small_dataset):
+        labels = DAEClustering(n_clusters=3, n_epochs=40, random_state=0).fit_predict(
+            small_dataset.data
+        )
+        assert adjusted_rand_index(small_dataset.labels, labels) > 0.0
+
+    def test_dtc_refinement_keeps_cluster_count(self, small_dataset):
+        model = DTCClustering(n_clusters=3, n_epochs=15, n_refine_iter=10, random_state=0)
+        model.fit(small_dataset.data)
+        assert model.cluster_centers_.shape[0] == 3
+        assert model.embedding_.shape[0] == small_dataset.n_series
+
+
+class TestRegistry:
+    def test_fourteen_baselines(self):
+        assert len(all_baseline_names()) == 14
+        assert "kgraph" not in all_baseline_names()
+        assert "kgraph" in available_methods()
+
+    def test_every_registered_name_resolves(self):
+        for name in available_methods():
+            method = get_method(name)
+            assert method.name == name
+            assert method.family in {"raw", "feature", "density", "model", "deep", "graph"}
+
+    def test_unknown_method(self):
+        with pytest.raises(ValidationError):
+            get_method("not_a_method")
+
+    @pytest.mark.parametrize(
+        "name", ["kmeans", "kmeans_znorm", "featts_like", "time2feat_like", "gmm", "spectral", "agglomerative", "birch"]
+    )
+    def test_fast_methods_run_and_score(self, name, small_dataset):
+        labels = run_method(name, small_dataset, random_state=0)
+        assert labels.shape == (small_dataset.n_series,)
+        assert labels.min() >= 0  # noise remapped to singletons
+        assert np.array_equal(labels, np.asarray(labels, dtype=int))
+
+    @pytest.mark.parametrize("name", ["dbscan", "optics", "meanshift", "som"])
+    def test_density_and_som_methods_run(self, name, small_dataset):
+        labels = run_method(name, small_dataset, random_state=0)
+        assert labels.shape == (small_dataset.n_series,)
+        assert labels.min() >= 0
+
+    def test_kshape_and_kgraph_beat_raw_kmeans_on_shape_data(self, small_dataset):
+        truth = small_dataset.labels
+        ari = {
+            name: adjusted_rand_index(truth, run_method(name, small_dataset, random_state=0))
+            for name in ("kmeans", "kgraph")
+        }
+        assert ari["kgraph"] > ari["kmeans"]
+
+    def test_default_n_clusters_uses_ground_truth(self, small_dataset):
+        labels = run_method("kmeans", small_dataset, random_state=0)
+        assert np.unique(labels).size == small_dataset.n_classes
+
+    def test_label_length_validation(self, small_dataset):
+        method = get_method("kmeans")
+        with pytest.raises(ValidationError):
+            method.fit_predict(small_dataset, 0)

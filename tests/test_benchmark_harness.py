@@ -1,0 +1,200 @@
+"""Unit tests for the benchmark runner, aggregation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.benchmark.aggregate import (
+    boxplot_summary,
+    filter_results,
+    mean_rank_table,
+    results_to_rows,
+    summarize_by_method,
+)
+from repro.benchmark.runner import BenchmarkResult, BenchmarkRunner
+from repro.benchmark.store import load_results, save_results
+from repro.datasets.catalogue import DatasetCatalogue, DatasetSpec
+from repro.datasets.synthetic import make_trend_classes, make_two_patterns
+from repro.exceptions import BenchmarkError
+
+
+def _tiny_catalogue() -> DatasetCatalogue:
+    """Two very small datasets so benchmark tests stay fast."""
+    catalogue = DatasetCatalogue()
+    catalogue.register(
+        DatasetSpec(
+            name="tiny_trend",
+            generator=lambda random_state=None, n_series=16, length=48, **kw: make_trend_classes(
+                n_series=n_series, length=length, random_state=random_state
+            ),
+            dataset_type="synthetic-trend",
+            n_series=16,
+            length=48,
+            n_classes=2,
+        )
+    )
+    catalogue.register(
+        DatasetSpec(
+            name="tiny_patterns",
+            generator=lambda random_state=None, n_series=16, length=64, **kw: make_two_patterns(
+                n_series=n_series, length=length, random_state=random_state
+            ),
+            dataset_type="synthetic-shape",
+            n_series=16,
+            length=64,
+            n_classes=4,
+        )
+    )
+    return catalogue
+
+
+@pytest.fixture(scope="module")
+def campaign_results():
+    runner = BenchmarkRunner(
+        ["kmeans", "featts_like", "gmm"], catalogue=_tiny_catalogue(), random_state=0
+    )
+    return runner.run()
+
+
+class TestRunner:
+    def test_one_result_per_pair(self, campaign_results):
+        assert len(campaign_results) == 3 * 2
+        pairs = {(r.method, r.dataset) for r in campaign_results}
+        assert len(pairs) == 6
+
+    def test_measures_present_and_bounded(self, campaign_results):
+        for result in campaign_results:
+            assert not result.failed
+            assert {"ari", "ri", "nmi", "ami"} <= set(result.measures)
+            assert -1.0 <= result.measures["ari"] <= 1.0
+            assert 0.0 <= result.measures["nmi"] <= 1.0
+            assert result.runtime_seconds > 0
+
+    def test_dataset_attributes_recorded(self, campaign_results):
+        result = next(r for r in campaign_results if r.dataset == "tiny_patterns")
+        assert result.n_classes == 4
+        assert result.length == 64
+        assert result.n_series == 16
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        runner = BenchmarkRunner(["kmeans"], catalogue=_tiny_catalogue(), random_state=0)
+        runner.run(["tiny_trend"], progress=lambda m, d, r: calls.append((m, d)))
+        assert calls == [("kmeans", "tiny_trend")]
+
+    def test_failure_is_recorded_not_raised(self, monkeypatch):
+        from repro.baselines import registry
+
+        broken = registry.BaselineMethod(
+            name="kmeans", family="raw", runner=lambda *a, **k: 1 / 0, description=""
+        )
+        monkeypatch.setitem(registry._REGISTRY, "kmeans", broken)
+        runner = BenchmarkRunner(["kmeans"], catalogue=_tiny_catalogue(), random_state=0)
+        results = runner.run(["tiny_trend"])
+        assert results[0].failed
+        assert "ZeroDivisionError" in results[0].error
+
+    def test_multiple_runs_average(self):
+        runner = BenchmarkRunner(
+            ["kmeans"], catalogue=_tiny_catalogue(), n_runs=2, random_state=0
+        )
+        results = runner.run(["tiny_trend"])
+        assert len(results) == 1
+        assert not results[0].failed
+
+    def test_unknown_method_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            BenchmarkRunner(["mystery_method"])
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(BenchmarkError):
+            BenchmarkRunner([])
+
+
+class TestAggregation:
+    def test_rows_are_flat_dicts(self, campaign_results):
+        rows = results_to_rows(campaign_results)
+        assert len(rows) == len(campaign_results)
+        assert all("ari" in row and "method" in row for row in rows)
+
+    def test_filter_by_type(self, campaign_results):
+        shape_only = filter_results(campaign_results, dataset_type="synthetic-shape")
+        assert {r.dataset for r in shape_only} == {"tiny_patterns"}
+
+    def test_filter_by_numeric_attributes(self, campaign_results):
+        long_series = filter_results(campaign_results, min_length=60)
+        assert all(r.length >= 60 for r in long_series)
+        few_classes = filter_results(campaign_results, max_classes=2)
+        assert all(r.n_classes <= 2 for r in few_classes)
+
+    def test_filter_by_method(self, campaign_results):
+        only = filter_results(campaign_results, methods=["kmeans"])
+        assert {r.method for r in only} == {"kmeans"}
+
+    def test_boxplot_summary_structure(self, campaign_results):
+        summary = boxplot_summary(campaign_results, "ari")
+        assert set(summary) == {"kmeans", "featts_like", "gmm"}
+        for stats in summary.values():
+            assert stats["min"] <= stats["q1"] <= stats["median"] <= stats["q3"] <= stats["max"]
+            assert stats["n"] == 2
+
+    def test_summarize_by_method_includes_runtime(self, campaign_results):
+        summary = summarize_by_method(campaign_results)
+        assert all("runtime_seconds" in values for values in summary.values())
+
+    def test_mean_rank_table_properties(self, campaign_results):
+        ranks = mean_rank_table(campaign_results, "ari")
+        assert set(ranks) == {"kmeans", "featts_like", "gmm"}
+        assert all(1.0 <= rank <= 3.0 for rank in ranks.values())
+        # Average of mean ranks equals (n_methods + 1) / 2 when all methods ran everywhere.
+        assert np.mean(list(ranks.values())) == pytest.approx(2.0)
+
+    def test_unknown_measure_raises(self, campaign_results):
+        with pytest.raises(BenchmarkError):
+            boxplot_summary(campaign_results, "accuracy")
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, campaign_results, tmp_path):
+        path = save_results(campaign_results, tmp_path / "results.json")
+        loaded = load_results(path)
+        assert len(loaded) == len(campaign_results)
+        original = {(r.method, r.dataset): r.measures["ari"] for r in campaign_results}
+        for result in loaded:
+            assert result.measures["ari"] == pytest.approx(original[(result.method, result.dataset)])
+
+    def test_csv_export(self, campaign_results, tmp_path):
+        path = save_results(campaign_results, tmp_path / "results.csv", fmt="csv")
+        text = path.read_text()
+        assert "method" in text.splitlines()[0]
+        assert len(text.splitlines()) == len(campaign_results) + 1
+
+    def test_invalid_format(self, campaign_results, tmp_path):
+        with pytest.raises(BenchmarkError):
+            save_results(campaign_results, tmp_path / "x.bin", fmt="parquet")
+
+    def test_empty_results_rejected(self, tmp_path):
+        with pytest.raises(BenchmarkError):
+            save_results([], tmp_path / "x.json")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchmarkError):
+            load_results(tmp_path / "missing.json")
+
+    def test_result_dict_roundtrip(self):
+        result = BenchmarkResult(
+            method="kmeans",
+            family="raw",
+            dataset="d",
+            dataset_type="t",
+            n_series=10,
+            length=32,
+            n_classes=2,
+            measures={"ari": 0.5},
+            runtime_seconds=0.1,
+        )
+        restored = BenchmarkResult.from_dict(result.to_dict())
+        assert restored.method == "kmeans"
+        assert restored.measures["ari"] == 0.5
+        assert not restored.failed

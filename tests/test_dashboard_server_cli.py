@@ -1,0 +1,192 @@
+"""Tests for the session, dashboard assembly, HTTP server routing and CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalogue import DatasetCatalogue, DatasetSpec
+from repro.datasets.synthetic import make_cylinder_bell_funnel
+from repro.exceptions import ValidationError
+from repro.viz.cli import main as cli_main
+from repro.viz.dashboard import build_dashboard
+from repro.viz.server import DashboardApplication
+from repro.viz.session import GraphintSession
+
+
+def _small_catalogue() -> DatasetCatalogue:
+    catalogue = DatasetCatalogue()
+    catalogue.register(
+        DatasetSpec(
+            name="cbf_small",
+            generator=lambda random_state=None, n_series=18, length=64, **kw: make_cylinder_bell_funnel(
+                n_series=n_series, length=length, noise=0.2, random_state=random_state
+            ),
+            dataset_type="synthetic-shape",
+            n_series=18,
+            length=64,
+            n_classes=3,
+        )
+    )
+    return catalogue
+
+
+@pytest.fixture(scope="module")
+def session():
+    dataset = make_cylinder_bell_funnel(n_series=18, length=64, noise=0.2, random_state=0)
+    fitted = GraphintSession(dataset, n_lengths=2, random_state=0).fit()
+    fitted.build_quizzes(n_users=2)
+    return fitted
+
+
+class TestSession:
+    def test_fit_produces_three_methods(self, session):
+        assert set(session.method_labels) == {"kgraph", "kmeans", "kshape"}
+        for labels in session.method_labels.values():
+            assert labels.shape == (session.dataset.n_series,)
+
+    def test_summary_contents(self, session):
+        summary = session.summary()
+        assert set(summary["ari"]) == {"kgraph", "kmeans", "kshape"}
+        assert summary["optimal_length"] == session.kgraph.optimal_length_
+        assert set(summary["quiz_scores"]) == {"kgraph", "kmeans", "kshape"}
+
+    def test_quizzes_cached(self, session):
+        first = session.build_quizzes()
+        second = session.build_quizzes()
+        assert first is second
+
+    def test_fit_idempotent(self, session):
+        labels_before = session.method_labels["kgraph"].copy()
+        session.fit()
+        assert np.array_equal(session.method_labels["kgraph"], labels_before)
+
+    def test_requires_labels(self):
+        from repro.utils.containers import TimeSeriesDataset
+
+        with pytest.raises(ValidationError):
+            GraphintSession(TimeSeriesDataset(data=np.zeros((10, 32))))
+
+
+class TestDashboard:
+    def test_full_page(self, session, tmp_path):
+        output = tmp_path / "dash.html"
+        page = build_dashboard(session, output_path=output)
+        assert page.startswith("<!DOCTYPE html>")
+        for frame_id in ("clustering-comparison", "graph-frame", "interpretability-test", "under-the-hood"):
+            assert f'id="{frame_id}"' in page
+        assert output.exists()
+        assert output.read_text(encoding="utf-8") == page
+
+    def test_benchmark_frame_included_when_results_given(self, session):
+        from tests.test_viz_frames import _fake_results
+
+        page = build_dashboard(session, benchmark_results=_fake_results())
+        assert 'id="benchmark"' in page
+
+    def test_widget_values_forwarded(self, session):
+        node = session.kgraph.optimal_graph_.nodes()[0]
+        page = build_dashboard(
+            session, lambda_threshold=0.3, gamma_threshold=0.3, selected_node=node
+        )
+        assert "λ = 0.30" in page and "γ = 0.30" in page
+
+
+class TestServerRouting:
+    @pytest.fixture(scope="class")
+    def application(self):
+        return DashboardApplication(catalogue=_small_catalogue(), random_state=0, n_lengths=2)
+
+    def test_datasets_route(self, application):
+        status, content_type, body = application.handle("/datasets")
+        assert status == 200
+        assert content_type == "application/json"
+        rows = json.loads(body)
+        assert rows[0]["name"] == "cbf_small"
+
+    def test_dashboard_route(self, application):
+        status, content_type, body = application.handle("/?dataset=cbf_small&lam=0.4&gam=0.4")
+        assert status == 200
+        assert content_type == "text/html"
+        assert "Graphint" in body
+
+    def test_summary_route(self, application):
+        status, _, body = application.handle("/summary?dataset=cbf_small")
+        assert status == 200
+        summary = json.loads(body)
+        assert "ari" in summary
+
+    def test_unknown_dataset_404(self, application):
+        status, _, _ = application.handle("/?dataset=nope")
+        assert status == 404
+
+    def test_unknown_route_404(self, application):
+        status, _, _ = application.handle("/wat")
+        assert status == 404
+
+    def test_bad_parameters_400(self, application):
+        status, _, _ = application.handle("/?dataset=cbf_small&lam=high")
+        assert status == 400
+
+    def test_sessions_are_cached(self, application):
+        application.handle("/?dataset=cbf_small")
+        first = application.session_for("cbf_small")
+        second = application.session_for("cbf_small")
+        assert first is second
+
+
+class TestCLI:
+    def test_datasets_command(self, capsys):
+        assert cli_main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "cylinder_bell_funnel" in output
+
+    def test_quiz_and_cluster_commands_run(self, capsys, monkeypatch):
+        # Patch the default catalogue used by the CLI to the small one so the
+        # commands stay fast.
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        assert cli.main(["cluster", "--dataset", "cbf_small", "--lengths", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "ARI kgraph" in output
+
+        assert cli.main(["quiz", "--dataset", "cbf_small", "--users", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "most interpretable representation" in output
+
+    def test_benchmark_and_dashboard_commands(self, capsys, monkeypatch, tmp_path):
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        results_path = tmp_path / "results.json"
+        assert (
+            cli.main(
+                ["benchmark", "--methods", "kmeans", "gmm", "--output", str(results_path)]
+            )
+            == 0
+        )
+        assert results_path.exists()
+        capsys.readouterr()
+
+        dashboard_path = tmp_path / "dash.html"
+        assert (
+            cli.main(
+                [
+                    "dashboard",
+                    "--dataset",
+                    "cbf_small",
+                    "--output",
+                    str(dashboard_path),
+                    "--benchmark-file",
+                    str(results_path),
+                ]
+            )
+            == 0
+        )
+        assert dashboard_path.exists()
+        assert "Graphint" in dashboard_path.read_text(encoding="utf-8")
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["unknown-command"])

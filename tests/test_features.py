@@ -1,0 +1,163 @@
+"""Unit tests for the feature bank and feature selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features.bank import (
+    FEATURE_NAMES,
+    autocorrelation,
+    binned_entropy,
+    complexity_estimate,
+    count_above_mean,
+    crossing_points,
+    dominant_frequency,
+    extract_features,
+    feature_vector,
+    longest_strike_above_mean,
+    mean_absolute_change,
+    number_of_peaks,
+    partial_autocorrelation,
+    seasonality_strength,
+    spectral_centroid,
+    trend_strength,
+)
+from repro.features.selection import select_features, variance_ranking
+
+
+class TestIndividualFeatures:
+    def test_autocorrelation_of_periodic_signal(self):
+        t = np.arange(200)
+        series = np.sin(2 * np.pi * t / 20)
+        # The biased estimator scales by (n - lag) / n, so the peak at one full
+        # period (lag 20 of 200 points) is 0.9, not 1.0.
+        assert autocorrelation(series, 20) > 0.85
+        assert autocorrelation(series, 10) < -0.85
+
+    def test_autocorrelation_constant_series(self):
+        assert autocorrelation(np.full(50, 3.0), 1) == 0.0
+
+    def test_partial_autocorrelation_ar1(self, rng):
+        # For an AR(1) process the PACF beyond lag 1 is near zero.
+        series = np.zeros(500)
+        for i in range(1, 500):
+            series[i] = 0.8 * series[i - 1] + rng.normal()
+        assert abs(partial_autocorrelation(series, 2)) < 0.2
+
+    def test_crossing_points(self):
+        series = np.array([1.0, -1.0, 1.0, -1.0, 1.0])
+        assert crossing_points(series) == 4
+
+    def test_count_above_mean_and_strike(self):
+        series = np.array([0.0, 0.0, 5.0, 5.0, 5.0, 0.0])
+        assert count_above_mean(series) == 3
+        assert longest_strike_above_mean(series) == 3
+
+    def test_number_of_peaks(self):
+        series = np.array([0, 3, 0, 0, 5, 0, 1, 0], dtype=float)
+        assert number_of_peaks(series, support=1) == 3
+
+    def test_binned_entropy_bounds(self, rng):
+        uniform = rng.uniform(size=1000)
+        constant = np.full(1000, 1.0)
+        assert binned_entropy(constant) == pytest.approx(0.0)
+        assert binned_entropy(uniform, n_bins=10) > 2.0
+
+    def test_spectral_features(self):
+        t = np.arange(128)
+        slow = np.sin(2 * np.pi * t / 64)
+        fast = np.sin(2 * np.pi * t / 4)
+        assert spectral_centroid(fast) > spectral_centroid(slow)
+        assert dominant_frequency(fast) > dominant_frequency(slow)
+
+    def test_trend_strength(self, rng):
+        trended = np.linspace(0, 10, 200) + rng.normal(0, 0.1, 200)
+        flat = rng.normal(0, 1.0, 200)
+        assert trend_strength(trended) > trend_strength(flat)
+        assert 0.0 <= trend_strength(flat) <= 1.0
+
+    def test_seasonality_strength(self, rng):
+        t = np.arange(200)
+        seasonal = np.sin(2 * np.pi * t / 25) + rng.normal(0, 0.1, 200)
+        noise = rng.normal(0, 1.0, 200)
+        assert seasonality_strength(seasonal) > seasonality_strength(noise)
+
+    def test_change_and_complexity(self, rng):
+        smooth = np.linspace(0, 1, 100)
+        rough = rng.normal(0, 1, 100)
+        assert mean_absolute_change(rough) > mean_absolute_change(smooth)
+        assert complexity_estimate(rough) > complexity_estimate(smooth)
+
+
+class TestFeatureVectorAndMatrix:
+    def test_all_features_present(self, rng):
+        values = feature_vector(rng.normal(size=100))
+        assert set(values) == set(FEATURE_NAMES)
+        assert all(np.isfinite(v) for v in values.values())
+
+    def test_extract_features_shape(self, small_dataset):
+        matrix = extract_features(small_dataset.data)
+        assert matrix.shape == (small_dataset.n_series, len(FEATURE_NAMES))
+        assert np.all(np.isfinite(matrix))
+
+    def test_standardized_columns(self, small_dataset):
+        matrix = extract_features(small_dataset.data, standardize=True)
+        stds = matrix.std(axis=0)
+        # Non-constant columns are unit variance; constant ones are zero.
+        assert np.all((np.isclose(stds, 1.0, atol=1e-6)) | (np.isclose(stds, 0.0, atol=1e-6)))
+
+    def test_unstandardized_keeps_scale(self, small_dataset):
+        matrix = extract_features(small_dataset.data, standardize=False)
+        mean_index = FEATURE_NAMES.index("mean")
+        expected = small_dataset.data.mean(axis=1)
+        assert np.allclose(matrix[:, mean_index], expected, atol=1e-8)
+
+    def test_features_discriminate_classes(self, small_dataset):
+        # The feature representation must carry class signal: nearest-centroid
+        # accuracy in feature space should beat chance by a wide margin.
+        matrix = extract_features(small_dataset.data)
+        labels = small_dataset.labels
+        centroids = np.vstack([matrix[labels == c].mean(axis=0) for c in np.unique(labels)])
+        assigned = np.argmin(
+            np.linalg.norm(matrix[:, None, :] - centroids[None, :, :], axis=2), axis=1
+        )
+        accuracy = float((assigned == labels).mean())
+        assert accuracy > 0.6
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValidationError):
+            feature_vector(np.arange(4.0))
+
+
+class TestFeatureSelection:
+    def test_variance_ranking_order(self):
+        matrix = np.column_stack(
+            [np.random.default_rng(0).normal(0, scale, 50) for scale in (0.1, 5.0, 1.0)]
+        )
+        ranking = variance_ranking(matrix)
+        assert ranking[0] == 1
+
+    def test_selection_respects_budget(self, small_dataset):
+        matrix = extract_features(small_dataset.data)
+        reduced, selected = select_features(matrix, n_features=5)
+        assert reduced.shape == (matrix.shape[0], len(selected))
+        assert len(selected) <= 5
+
+    def test_redundant_features_dropped(self, rng):
+        base = rng.normal(size=100)
+        matrix = np.column_stack([base, base * 2.0 + 1e-9, rng.normal(size=100)])
+        _, selected = select_features(matrix, n_features=3, correlation_threshold=0.95)
+        assert len(selected) == 2
+
+    def test_constant_columns_skipped(self, rng):
+        matrix = np.column_stack([np.full(50, 3.0), rng.normal(size=50)])
+        _, selected = select_features(matrix, n_features=2)
+        assert 0 not in selected
+
+    def test_invalid_threshold(self, rng):
+        with pytest.raises(ValidationError):
+            select_features(rng.normal(size=(10, 3)), 2, correlation_threshold=0.0)
+
+    def test_feature_names_length_checked(self, rng):
+        with pytest.raises(ValidationError):
+            select_features(rng.normal(size=(10, 3)), 2, feature_names=["a"])

@@ -1,0 +1,88 @@
+"""Unit tests for the graph-embedding step."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphConstructionError
+from repro.graph.embedding import GraphEmbedding, build_graph
+from repro.utils.windows import subsequence_count
+
+
+class TestGraphEmbedding:
+    def test_basic_properties(self, small_dataset):
+        graph = build_graph(small_dataset.data, length=16, random_state=0)
+        assert graph.length == 16
+        assert graph.n_series == small_dataset.n_series
+        assert graph.n_nodes >= 2
+        assert graph.n_edges >= 1
+
+    def test_every_series_has_a_trajectory(self, small_dataset):
+        graph = build_graph(small_dataset.data, length=16, random_state=0)
+        expected_length = subsequence_count(small_dataset.length, 16)
+        for series_index in range(small_dataset.n_series):
+            trajectory = graph.trajectory(series_index)
+            assert len(trajectory) == expected_length
+
+    def test_total_visits_equals_total_subsequences(self, small_dataset):
+        graph = build_graph(small_dataset.data, length=16, random_state=0)
+        expected = small_dataset.n_series * subsequence_count(small_dataset.length, 16)
+        total_visits = sum(graph.node_weight(node) for node in graph.nodes())
+        assert total_visits == expected
+
+    def test_total_transitions(self, small_dataset):
+        graph = build_graph(small_dataset.data, length=16, random_state=0)
+        per_series = subsequence_count(small_dataset.length, 16) - 1
+        expected = small_dataset.n_series * per_series
+        total = sum(graph.edge_weight(edge) for edge in graph.edges())
+        assert total == expected
+
+    def test_stride_reduces_graph_weight(self, small_dataset):
+        dense = build_graph(small_dataset.data, length=16, random_state=0)
+        strided = GraphEmbedding(16, stride=4, random_state=0).fit(small_dataset.data)
+        dense_weight = sum(dense.node_weight(n) for n in dense.nodes())
+        strided_weight = sum(strided.node_weight(n) for n in strided.nodes())
+        assert strided_weight < dense_weight
+
+    def test_node_patterns_have_window_length(self, small_dataset):
+        graph = build_graph(small_dataset.data, length=12, random_state=0)
+        for node in graph.nodes():
+            assert graph.node_pattern(node).shape == (12,)
+
+    def test_deterministic(self, small_dataset):
+        a = build_graph(small_dataset.data, length=16, random_state=3)
+        b = build_graph(small_dataset.data, length=16, random_state=3)
+        assert a.n_nodes == b.n_nodes
+        assert a.edges() == b.edges()
+        assert np.array_equal(a.node_feature_matrix(), b.node_feature_matrix())
+
+    def test_more_sectors_more_nodes(self, small_dataset):
+        coarse = GraphEmbedding(16, n_sectors=4, random_state=0).fit(small_dataset.data)
+        fine = GraphEmbedding(16, n_sectors=32, random_state=0).fit(small_dataset.data)
+        assert fine.n_nodes >= coarse.n_nodes
+
+    def test_window_too_long_rejected(self, small_dataset):
+        with pytest.raises(GraphConstructionError):
+            build_graph(small_dataset.data, length=small_dataset.length)
+
+    def test_invalid_prominence(self):
+        with pytest.raises(GraphConstructionError):
+            GraphEmbedding(8, min_prominence_fraction=1.5)
+
+    def test_constant_dataset_still_builds(self):
+        data = np.tile(np.linspace(0, 1, 64), (6, 1))
+        graph = build_graph(data, length=8, random_state=0)
+        assert graph.n_nodes >= 1
+
+    def test_different_classes_use_different_regions(self, small_dataset):
+        # Series from different classes should not have identical node usage
+        # patterns: the normalised node feature rows must differ across classes
+        # more than within (on average).
+        graph = build_graph(small_dataset.data, length=16, random_state=0)
+        features = graph.node_feature_matrix()
+        labels = small_dataset.labels
+        within, across = [], []
+        for i in range(features.shape[0]):
+            for j in range(i + 1, features.shape[0]):
+                distance = float(np.linalg.norm(features[i] - features[j]))
+                (within if labels[i] == labels[j] else across).append(distance)
+        assert np.mean(across) > np.mean(within)

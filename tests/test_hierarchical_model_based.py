@@ -1,0 +1,160 @@
+"""Unit tests for agglomerative, k-medoids, BIRCH, GMM and SOM clusterers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.birch import Birch
+from repro.cluster.gaussian_mixture import GaussianMixture
+from repro.cluster.kmedoids import KMedoids
+from repro.cluster.som import SelfOrganizingMap
+from repro.exceptions import ValidationError
+from repro.metrics.clustering import adjusted_rand_index
+from repro.metrics.distances import pairwise_distances
+
+
+class TestAgglomerative:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_blobs_all_linkages(self, blob_data, linkage):
+        points, truth = blob_data
+        labels = AgglomerativeClustering(n_clusters=3, linkage=linkage).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_precomputed_distances(self, blob_data):
+        points, truth = blob_data
+        matrix = pairwise_distances(points)
+        labels = AgglomerativeClustering(
+            n_clusters=3, linkage="average", metric="precomputed"
+        ).fit_predict(matrix)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_merge_history_length(self, blob_data):
+        points, _ = blob_data
+        model = AgglomerativeClustering(n_clusters=3, linkage="average").fit(points)
+        assert len(model.merge_history_) == points.shape[0] - 3
+
+    def test_n_clusters_equals_n_samples(self):
+        points = np.arange(10, dtype=float).reshape(5, 2)
+        labels = AgglomerativeClustering(n_clusters=5).fit_predict(points)
+        assert np.unique(labels).size == 5
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValidationError):
+            AgglomerativeClustering(2, linkage="centroid")
+
+    def test_ward_requires_euclidean(self):
+        with pytest.raises(ValidationError):
+            AgglomerativeClustering(2, linkage="ward", metric="sbd")
+
+
+class TestKMedoids:
+    def test_recovers_blobs(self, blob_data):
+        points, truth = blob_data
+        labels = KMedoids(n_clusters=3, random_state=0).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_medoids_are_sample_indices(self, blob_data):
+        points, _ = blob_data
+        model = KMedoids(n_clusters=3, random_state=0).fit(points)
+        assert model.medoid_indices_.shape == (3,)
+        assert np.all(model.medoid_indices_ < points.shape[0])
+
+    def test_precomputed(self, blob_data):
+        points, truth = blob_data
+        matrix = pairwise_distances(points)
+        labels = KMedoids(n_clusters=3, metric="precomputed", random_state=0).fit_predict(matrix)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_inertia_positive(self, blob_data):
+        points, _ = blob_data
+        model = KMedoids(n_clusters=3, random_state=0).fit(points)
+        assert model.inertia_ > 0
+
+    def test_too_many_clusters(self, blob_data):
+        points, _ = blob_data
+        with pytest.raises(ValidationError):
+            KMedoids(n_clusters=points.shape[0] + 1).fit(points)
+
+
+class TestBirch:
+    def test_recovers_blobs(self, blob_data):
+        points, truth = blob_data
+        labels = Birch(n_clusters=3, threshold=1.0).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_subclusters_fewer_than_samples(self, blob_data):
+        points, _ = blob_data
+        model = Birch(n_clusters=3, threshold=1.5).fit(points)
+        assert 3 <= model.subcluster_centers_.shape[0] <= points.shape[0]
+
+    def test_tiny_threshold_still_works(self, blob_data):
+        # Exceeding the branching factor doubles the threshold until it fits.
+        points, truth = blob_data
+        labels = Birch(n_clusters=3, threshold=1e-4, branching_factor=10).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            Birch(threshold=0.0)
+
+
+class TestGaussianMixture:
+    def test_recovers_blobs(self, blob_data):
+        points, truth = blob_data
+        labels = GaussianMixture(n_components=3, random_state=0).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_parameters_shapes(self, blob_data):
+        points, _ = blob_data
+        model = GaussianMixture(n_components=3, random_state=0).fit(points)
+        assert model.weights_.shape == (3,)
+        assert model.means_.shape == (3, 2)
+        assert model.variances_.shape == (3, 2)
+        assert model.weights_.sum() == pytest.approx(1.0)
+        assert np.all(model.variances_ > 0)
+
+    def test_predict_proba_rows_sum_to_one(self, blob_data):
+        points, _ = blob_data
+        model = GaussianMixture(n_components=3, random_state=0).fit(points)
+        proba = model.predict_proba(points[:10])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.array_equal(np.argmax(proba, axis=1), model.predict(points[:10]))
+
+    def test_loglikelihood_finite(self, blob_data):
+        points, _ = blob_data
+        model = GaussianMixture(n_components=2, random_state=0).fit(points)
+        assert np.isfinite(model.log_likelihood_)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            GaussianMixture(n_components=0)
+        with pytest.raises(ValidationError):
+            GaussianMixture(2, tol=0.0)
+        with pytest.raises(ValidationError):
+            GaussianMixture(2, reg_covar=-1.0)
+
+
+class TestSelfOrganizingMap:
+    def test_recovers_blobs(self, blob_data):
+        points, truth = blob_data
+        labels = SelfOrganizingMap(
+            grid_shape=(3, 3), n_clusters=3, n_epochs=15, random_state=0
+        ).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.8
+
+    def test_unit_count_and_weights(self, blob_data):
+        points, _ = blob_data
+        model = SelfOrganizingMap(grid_shape=(2, 4), n_epochs=5, random_state=0).fit(points)
+        assert model.n_units == 8
+        assert model.weights_.shape == (8, 2)
+
+    def test_labels_without_merging(self, blob_data):
+        points, _ = blob_data
+        model = SelfOrganizingMap(grid_shape=(2, 2), n_epochs=5, random_state=0).fit(points)
+        assert model.labels_.max() < 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SelfOrganizingMap(grid_shape=(0, 3))
+        with pytest.raises(ValidationError):
+            SelfOrganizingMap(learning_rate=0.0)

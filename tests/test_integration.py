@@ -1,0 +1,101 @@
+"""End-to-end integration tests crossing every layer of the library.
+
+These mirror the demonstration scenarios of the paper: run the full pipeline
+on a catalogue dataset, verify the headline behaviours (k-Graph accuracy and
+interpretability vs the baselines), and exercise the full dashboard path that
+the Graphint GUI takes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import run_method
+from repro.datasets.synthetic import make_cylinder_bell_funnel, make_shapelet_classes
+from repro.metrics.clustering import adjusted_rand_index
+from repro.viz.dashboard import build_dashboard
+from repro.viz.session import GraphintSession
+
+
+@pytest.fixture(scope="module")
+def scenario_dataset():
+    return make_cylinder_bell_funnel(n_series=24, length=64, noise=0.25, random_state=7)
+
+
+@pytest.fixture(scope="module")
+def scenario_session(scenario_dataset):
+    session = GraphintSession(scenario_dataset, n_lengths=3, random_state=7).fit()
+    session.build_quizzes(n_users=3)
+    return session
+
+
+class TestHeadlineBehaviour:
+    def test_kgraph_beats_raw_kmeans_on_shape_data(self, scenario_session):
+        """E1/E7 shape check: on event-at-random-onset data, k-Graph must beat raw k-Means."""
+        summary = scenario_session.summary()
+        assert summary["ari"]["kgraph"] > summary["ari"]["kmeans"]
+        assert summary["ari"]["kgraph"] > 0.5
+
+    def test_quiz_scores_reported_for_all_methods(self, scenario_session):
+        """E4 shape check: quiz produces a score per method; k-Graph representation is competitive."""
+        scores = scenario_session.quiz_scores
+        assert set(scores) == {"kgraph", "kmeans", "kshape"}
+        assert scores["kgraph"] >= 1.0 / 3  # at least chance level
+        assert scores["kgraph"] >= max(scores.values()) - 0.4
+
+    def test_interpretable_length_selected(self, scenario_session):
+        """E5 shape check: the selected length maximises W_c * W_e."""
+        model = scenario_session.kgraph
+        best = max(model.length_scores_, key=lambda s: s.combined)
+        assert model.optimal_length_ == best.length or best.combined == pytest.approx(
+            next(s for s in model.length_scores_ if s.length == model.optimal_length_).combined
+        )
+
+    def test_graphoids_exist_at_some_threshold(self, scenario_session):
+        """E3 shape check: lowering gamma always eventually yields >= 1 node per cluster."""
+        model = scenario_session.kgraph
+        found = False
+        for gamma in (0.8, 0.6, 0.4):
+            graphoids = model.recompute_graphoids(0.0, gamma)["gamma"]
+            if all(not g.is_empty() for g in graphoids.values()):
+                found = True
+                break
+        assert found
+
+
+class TestCrossLayerConsistency:
+    def test_registry_kgraph_matches_direct_estimator(self, scenario_dataset):
+        from repro.core.kgraph import KGraph
+
+        direct = KGraph(n_clusters=3, random_state=5).fit_predict(scenario_dataset.data)
+        via_registry = run_method("kgraph", scenario_dataset, random_state=5)
+        assert adjusted_rand_index(direct, via_registry) == pytest.approx(1.0)
+
+    def test_dashboard_renders_for_fitted_session(self, scenario_session, tmp_path):
+        page = build_dashboard(scenario_session, output_path=tmp_path / "dashboard.html")
+        # The page embeds every frame and at least one SVG per frame.
+        assert page.count("<svg") >= 8
+        assert (tmp_path / "dashboard.html").stat().st_size > 10_000
+
+    def test_node_statistics_agree_with_graphoids(self, scenario_session):
+        model = scenario_session.kgraph
+        statistics = model.node_statistics()
+        gamma = 0.5
+        graphoids = model.recompute_graphoids(0.0, gamma)["gamma"]
+        for cluster, graphoid in graphoids.items():
+            for node in graphoid.nodes:
+                assert statistics[node]["exclusivity"][cluster] >= gamma
+
+
+class TestRobustness:
+    def test_pipeline_handles_small_and_noisy_data(self):
+        dataset = make_shapelet_classes(n_series=12, length=48, noise=0.8, random_state=0)
+        session = GraphintSession(dataset, n_lengths=2, random_state=0).fit()
+        labels = session.method_labels["kgraph"]
+        assert labels.shape == (12,)
+        assert np.unique(labels).size == dataset.n_classes
+
+    def test_reproducibility_across_sessions(self, scenario_dataset):
+        a = GraphintSession(scenario_dataset, n_lengths=2, random_state=11).fit()
+        b = GraphintSession(scenario_dataset, n_lengths=2, random_state=11).fit()
+        for method in a.method_labels:
+            assert adjusted_rand_index(a.method_labels[method], b.method_labels[method]) == pytest.approx(1.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the interpretability test (representations, quiz, simulated user)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.interpret.quiz import Quiz, build_quiz
+from repro.interpret.representations import centroid_representation, graphoid_representation
+from repro.interpret.user_model import SimulatedUser, score_methods
+
+
+class TestRepresentations:
+    def test_centroid_representation_per_cluster(self, small_dataset):
+        reps = centroid_representation("kmeans", small_dataset.data, small_dataset.labels)
+        assert set(reps) == set(np.unique(small_dataset.labels).tolist())
+        for rep in reps.values():
+            assert rep.kind == "centroid"
+            assert rep.centroid.shape == (small_dataset.length,)
+            # Centroids are z-normalised.
+            assert abs(rep.centroid.mean()) < 1e-8
+
+    def test_centroid_representation_empty_cluster_rejected(self, small_dataset):
+        labels = np.zeros(small_dataset.n_series, dtype=int)
+        reps = centroid_representation("kmeans", small_dataset.data, labels)
+        assert set(reps) == {0}
+
+    def test_graphoid_representation(self, fitted_kgraph):
+        reps = graphoid_representation(fitted_kgraph, max_patterns=4)
+        clusters = set(np.unique(fitted_kgraph.labels_).tolist())
+        assert set(reps) == clusters
+        for rep in reps.values():
+            assert rep.kind == "graphoid"
+            assert 1 <= len(rep.patterns) <= 4
+            assert len(rep.patterns) == len(rep.pattern_scores)
+            for pattern in rep.patterns:
+                assert pattern.shape == (fitted_kgraph.optimal_length_,)
+
+    def test_describe_serialisable(self, fitted_kgraph):
+        import json
+
+        reps = graphoid_representation(fitted_kgraph)
+        json.dumps([rep.describe() for rep in reps.values()])
+
+
+class TestQuiz:
+    @pytest.fixture()
+    def quiz(self, small_dataset):
+        reps = centroid_representation("kmeans", small_dataset.data, small_dataset.labels)
+        return build_quiz(
+            small_dataset, "kmeans", small_dataset.labels, reps, n_questions=5, random_state=0
+        )
+
+    def test_quiz_structure(self, quiz, small_dataset):
+        assert quiz.n_questions == 5
+        assert quiz.dataset_name == small_dataset.name
+        assert set(quiz.clusters) == set(np.unique(small_dataset.labels).tolist())
+        indices = [q.series_index for q in quiz.questions]
+        assert len(set(indices)) == 5  # drawn without replacement
+
+    def test_correct_answers_match_method_labels(self, quiz, small_dataset):
+        for question in quiz.questions:
+            assert question.correct_cluster == small_dataset.labels[question.series_index]
+
+    def test_scoring(self, quiz):
+        # Answer everything correctly -> score 1; flip one answer -> 0.8.
+        for question in quiz.questions:
+            quiz.answer(question.question_id, question.correct_cluster)
+        assert quiz.is_complete()
+        assert quiz.score() == pytest.approx(1.0)
+        wrong = (quiz.questions[0].correct_cluster + 1) % len(quiz.clusters)
+        quiz.answer(quiz.questions[0].question_id, wrong)
+        assert quiz.score() == pytest.approx(0.8)
+
+    def test_unanswered_score_zero(self, quiz):
+        assert quiz.score() == 0.0
+        assert not quiz.is_complete()
+
+    def test_invalid_answers_rejected(self, quiz):
+        with pytest.raises(ValidationError):
+            quiz.answer(999, 0)
+        with pytest.raises(ValidationError):
+            quiz.answer(0, 999)
+
+    def test_deterministic_questions(self, small_dataset):
+        reps = centroid_representation("kmeans", small_dataset.data, small_dataset.labels)
+        a = build_quiz(small_dataset, "m", small_dataset.labels, reps, random_state=4)
+        b = build_quiz(small_dataset, "m", small_dataset.labels, reps, random_state=4)
+        assert [q.series_index for q in a.questions] == [q.series_index for q in b.questions]
+
+    def test_missing_representation_rejected(self, small_dataset):
+        reps = centroid_representation("kmeans", small_dataset.data, small_dataset.labels)
+        reps.pop(0)
+        with pytest.raises(ValidationError):
+            build_quiz(small_dataset, "m", small_dataset.labels, reps, random_state=0)
+
+    def test_exclude_indices(self, small_dataset):
+        reps = centroid_representation("kmeans", small_dataset.data, small_dataset.labels)
+        excluded = list(range(small_dataset.n_series - 6))
+        quiz = build_quiz(
+            small_dataset,
+            "m",
+            small_dataset.labels,
+            reps,
+            n_questions=5,
+            random_state=0,
+            exclude_indices=excluded,
+        )
+        assert all(q.series_index >= small_dataset.n_series - 6 for q in quiz.questions)
+
+
+class TestSimulatedUser:
+    def test_ideal_user_beats_chance_with_true_centroids(self, small_dataset):
+        reps = centroid_representation("truth", small_dataset.data, small_dataset.labels)
+        quiz = build_quiz(
+            small_dataset, "truth", small_dataset.labels, reps, n_questions=8, random_state=1
+        )
+        SimulatedUser(perception_noise=0.0).answer_quiz(quiz)
+        assert quiz.is_complete()
+        assert quiz.score() > 1.0 / small_dataset.n_classes
+
+    def test_graphoid_user_beats_chance(self, fitted_kgraph, small_dataset):
+        reps = graphoid_representation(fitted_kgraph)
+        quiz = build_quiz(
+            small_dataset,
+            "kgraph",
+            fitted_kgraph.labels_,
+            reps,
+            n_questions=8,
+            random_state=1,
+        )
+        SimulatedUser(perception_noise=0.0).answer_quiz(quiz)
+        assert quiz.score() > 1.0 / 3
+
+    def test_noise_changes_answers_but_not_validity(self, small_dataset):
+        reps = centroid_representation("m", small_dataset.data, small_dataset.labels)
+        quiz = build_quiz(small_dataset, "m", small_dataset.labels, reps, random_state=2)
+        SimulatedUser(perception_noise=5.0, random_state=0).answer_quiz(quiz)
+        assert quiz.is_complete()
+        assert 0.0 <= quiz.score() <= 1.0
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValidationError):
+            SimulatedUser(perception_noise=-0.1)
+
+    def test_score_methods_returns_all_methods(self, small_dataset, fitted_kgraph):
+        quizzes = {}
+        reps_centroid = centroid_representation("kmeans", small_dataset.data, small_dataset.labels)
+        quizzes["kmeans"] = build_quiz(
+            small_dataset, "kmeans", small_dataset.labels, reps_centroid, random_state=3
+        )
+        reps_graph = graphoid_representation(fitted_kgraph)
+        quizzes["kgraph"] = build_quiz(
+            small_dataset, "kgraph", fitted_kgraph.labels_, reps_graph, random_state=3
+        )
+        scores = score_methods(quizzes, n_users=3, random_state=0)
+        assert set(scores) == {"kmeans", "kgraph"}
+        assert all(0.0 <= value <= 1.0 for value in scores.values())
+
+    def test_score_methods_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            score_methods({})

@@ -1,0 +1,182 @@
+"""Unit and behavioural tests for the KGraph estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.kgraph import KGraph
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.clustering import adjusted_rand_index
+
+
+class TestFitBasics:
+    def test_labels_shape_and_k(self, fitted_kgraph, small_dataset):
+        labels = fitted_kgraph.labels_
+        assert labels.shape == (small_dataset.n_series,)
+        assert np.unique(labels).size == 3
+
+    def test_accuracy_on_pattern_dataset(self, fitted_kgraph, small_dataset):
+        assert adjusted_rand_index(small_dataset.labels, fitted_kgraph.labels_) > 0.6
+
+    def test_result_artifacts_complete(self, fitted_kgraph):
+        result = fitted_kgraph.result_
+        assert len(result.graphs) == len(result.partitions) == len(result.length_scores)
+        assert result.optimal_length in result.graphs
+        assert result.consensus_matrix.shape == (result.labels.shape[0],) * 2
+        assert result.n_clusters == 3
+        assert set(result.lambda_graphoids) == set(np.unique(result.labels).tolist())
+        assert set(result.gamma_graphoids) == set(np.unique(result.labels).tolist())
+        assert result.timings  # every stage recorded
+
+    def test_consensus_matrix_is_valid_affinity(self, fitted_kgraph):
+        matrix = fitted_kgraph.consensus_matrix_
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_fit_predict_equals_labels(self, small_dataset):
+        model = KGraph(n_clusters=3, n_lengths=2, random_state=1)
+        labels = model.fit_predict(small_dataset.data)
+        assert np.array_equal(labels, model.labels_)
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = KGraph(n_clusters=3, n_lengths=2, random_state=9).fit_predict(small_dataset.data)
+        b = KGraph(n_clusters=3, n_lengths=2, random_state=9).fit_predict(small_dataset.data)
+        assert np.array_equal(a, b)
+
+    def test_explicit_lengths(self, small_dataset):
+        model = KGraph(n_clusters=3, lengths=[10, 20], random_state=0)
+        model.fit(small_dataset.data)
+        assert sorted(model.result_.graphs) == [10, 20]
+
+    def test_invalid_explicit_lengths_filtered(self, small_dataset):
+        model = KGraph(n_clusters=3, lengths=[10, small_dataset.length + 5], random_state=0)
+        model.fit(small_dataset.data)
+        assert sorted(model.result_.graphs) == [10]
+
+    def test_all_lengths_invalid_rejected(self, small_dataset):
+        model = KGraph(n_clusters=3, lengths=[small_dataset.length * 2], random_state=0)
+        with pytest.raises(ValidationError):
+            model.fit(small_dataset.data)
+
+    def test_summary_serialisable(self, fitted_kgraph):
+        import json
+
+        text = json.dumps(fitted_kgraph.result_.summary())
+        assert "optimal_length" in text
+
+
+class TestAccessorsAndErrors:
+    def test_not_fitted_properties(self):
+        model = KGraph(n_clusters=2)
+        with pytest.raises(NotFittedError):
+            _ = model.optimal_length_
+        with pytest.raises(NotFittedError):
+            model.graphoids()
+        with pytest.raises(NotFittedError):
+            model.node_statistics()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValidationError):
+            KGraph(n_clusters=1)
+        with pytest.raises(ValidationError):
+            KGraph(n_clusters=3, feature_mode="magic")
+        with pytest.raises(ValidationError):
+            KGraph(n_clusters=3, lambda_threshold=1.5)
+        with pytest.raises(ValidationError):
+            KGraph(n_clusters=3, lengths=[])
+
+    def test_too_few_series(self):
+        with pytest.raises(ValidationError):
+            KGraph(n_clusters=5).fit(np.random.default_rng(0).normal(size=(3, 64)))
+
+    def test_graphoids_kinds(self, fitted_kgraph):
+        assert set(fitted_kgraph.graphoids("lambda")) == set(fitted_kgraph.graphoids("gamma"))
+        with pytest.raises(ValidationError):
+            fitted_kgraph.graphoids("delta")
+
+    def test_node_statistics_structure(self, fitted_kgraph):
+        statistics = fitted_kgraph.node_statistics()
+        graph = fitted_kgraph.optimal_graph_
+        assert set(statistics) == set(graph.nodes())
+        sample = statistics[graph.nodes()[0]]
+        assert set(sample) == {"representativity", "exclusivity"}
+        clusters = set(np.unique(fitted_kgraph.labels_).tolist())
+        assert set(sample["exclusivity"]) == clusters
+
+    def test_recompute_graphoids_monotone(self, fitted_kgraph):
+        loose = fitted_kgraph.recompute_graphoids(0.1, 0.1)
+        strict = fitted_kgraph.recompute_graphoids(0.9, 0.9)
+        for cluster in loose["gamma"]:
+            assert strict["gamma"][cluster].n_nodes <= loose["gamma"][cluster].n_nodes
+            assert strict["lambda"][cluster].n_nodes <= loose["lambda"][cluster].n_nodes
+
+    def test_recompute_graphoids_threshold_validated(self, fitted_kgraph):
+        with pytest.raises(ValidationError):
+            fitted_kgraph.recompute_graphoids(2.0, 0.5)
+
+
+class TestPredict:
+    def test_predict_reproduces_training_labels(self, fitted_kgraph, small_dataset):
+        # Out-of-sample assignment of the training series must agree with the
+        # fitted labels far better than chance (it is a nearest-profile
+        # approximation of the consensus assignment, not an exact replay).
+        predicted = fitted_kgraph.predict(small_dataset.data)
+        assert predicted.shape == (small_dataset.n_series,)
+        assert adjusted_rand_index(fitted_kgraph.labels_, predicted) > 0.5
+
+    def test_predict_new_series_from_known_classes(self, fitted_kgraph):
+        from repro.datasets.synthetic import make_cylinder_bell_funnel
+
+        fresh = make_cylinder_bell_funnel(n_series=12, length=64, noise=0.2, random_state=99)
+        predicted = fitted_kgraph.predict(fresh.data)
+        assert predicted.shape == (12,)
+        assert set(predicted.tolist()) <= set(np.unique(fitted_kgraph.labels_).tolist())
+        # New members of the same generative classes should mostly agree with
+        # the ground-truth partition (up to label permutation).
+        assert adjusted_rand_index(fresh.labels, predicted) > 0.3
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            KGraph(n_clusters=2).predict(np.zeros((3, 64)))
+
+    def test_predict_rejects_too_short_series(self, fitted_kgraph):
+        too_short = np.zeros((2, fitted_kgraph.optimal_length_))
+        with pytest.raises(ValidationError):
+            fitted_kgraph.predict(too_short)
+
+
+class TestBehaviour:
+    def test_feature_mode_ablation_runs(self, small_dataset):
+        for mode in ("nodes", "edges", "both"):
+            model = KGraph(n_clusters=3, n_lengths=2, feature_mode=mode, random_state=0)
+            labels = model.fit_predict(small_dataset.data)
+            assert np.unique(labels).size == 3
+
+    def test_noise_dataset_scores_near_zero(self):
+        from repro.datasets.synthetic import make_noise_only
+
+        dataset = make_noise_only(n_series=24, length=64, random_state=0)
+        model = KGraph(n_clusters=2, n_lengths=2, random_state=0)
+        labels = model.fit_predict(dataset.data)
+        assert abs(adjusted_rand_index(dataset.labels, labels)) < 0.25
+
+    def test_consensus_labels_consistent_with_best_partition(self, fitted_kgraph):
+        # The final labels should agree with at least one per-length partition
+        # better than chance (the consensus cannot be worse than all parts).
+        result = fitted_kgraph.result_
+        agreements = [
+            adjusted_rand_index(result.labels, partition.labels)
+            for partition in result.partitions
+        ]
+        assert max(agreements) > 0.3
+
+    def test_optimal_length_maximises_product(self, fitted_kgraph):
+        scores = fitted_kgraph.length_scores_
+        best = max(scores, key=lambda s: s.combined)
+        chosen = next(s for s in scores if s.length == fitted_kgraph.optimal_length_)
+        assert chosen.combined == pytest.approx(best.combined)
+
+    def test_works_on_periodic_data(self, periodic_dataset):
+        model = KGraph(n_clusters=3, n_lengths=3, random_state=0)
+        labels = model.fit_predict(periodic_dataset.data)
+        assert adjusted_rand_index(periodic_dataset.labels, labels) > 0.4

@@ -1,0 +1,141 @@
+"""Unit tests for k-Means and k-Shape."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans, kmeans_plus_plus_init
+from repro.cluster.kshape import KShape
+from repro.exceptions import NotFittedError, ValidationError
+from repro.metrics.clustering import adjusted_rand_index
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self, blob_data):
+        points, _ = blob_data
+        centers = kmeans_plus_plus_init(points, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+        for center in centers:
+            assert np.any(np.all(np.isclose(points, center), axis=1))
+
+    def test_too_many_clusters(self, blob_data):
+        points, _ = blob_data
+        with pytest.raises(ValidationError):
+            kmeans_plus_plus_init(points, points.shape[0] + 1, np.random.default_rng(0))
+
+    def test_duplicate_points_handled(self):
+        points = np.zeros((10, 2))
+        centers = kmeans_plus_plus_init(points, 3, np.random.default_rng(0))
+        assert centers.shape == (3, 2)
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blob_data):
+        points, truth = blob_data
+        labels = KMeans(n_clusters=3, random_state=0).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.95
+
+    def test_deterministic_with_seed(self, blob_data):
+        points, _ = blob_data
+        a = KMeans(n_clusters=3, random_state=11).fit_predict(points)
+        b = KMeans(n_clusters=3, random_state=11).fit_predict(points)
+        assert np.array_equal(a, b)
+
+    def test_inertia_decreases_with_more_clusters(self, blob_data):
+        points, _ = blob_data
+        inertia2 = KMeans(n_clusters=2, random_state=0).fit(points).inertia_
+        inertia5 = KMeans(n_clusters=5, random_state=0).fit(points).inertia_
+        assert inertia5 < inertia2
+
+    def test_predict_and_transform(self, blob_data):
+        points, _ = blob_data
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        predicted = model.predict(points)
+        assert np.array_equal(predicted, model.labels_)
+        distances = model.transform(points[:5])
+        assert distances.shape == (5, 3)
+        assert np.all(distances >= 0)
+
+    def test_all_clusters_used(self, blob_data):
+        points, _ = blob_data
+        model = KMeans(n_clusters=3, random_state=0).fit(points)
+        assert model.n_clusters_found_ == 3
+
+    def test_single_cluster(self, blob_data):
+        points, _ = blob_data
+        labels = KMeans(n_clusters=1, random_state=0).fit_predict(points)
+        assert np.all(labels == 0)
+
+    def test_k_equals_n(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        labels = KMeans(n_clusters=4, n_init=2, random_state=0).fit_predict(points)
+        assert np.unique(labels).size == 4
+
+    def test_errors(self, blob_data):
+        points, _ = blob_data
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=points.shape[0] + 1).fit(points)
+        with pytest.raises(NotFittedError):
+            KMeans(3).predict(points)
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=0)
+        with pytest.raises(ValidationError):
+            KMeans(3, tol=-1.0)
+
+    def test_predict_feature_mismatch(self, blob_data):
+        points, _ = blob_data
+        model = KMeans(n_clusters=2, random_state=0).fit(points)
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 5)))
+
+
+class TestKShape:
+    @pytest.fixture(scope="class")
+    def shifted_patterns(self):
+        """Two classes of identical shapes at random shifts (k-Means-hostile)."""
+        generator = np.random.default_rng(3)
+        length = 80
+        series, labels = [], []
+        base_a = np.zeros(length)
+        base_a[20:35] = 1.0
+        t = np.linspace(0, 6 * np.pi, length)
+        base_b = np.sin(t)
+        for _ in range(12):
+            series.append(np.roll(base_a, generator.integers(-10, 10)) + generator.normal(0, 0.05, length))
+            labels.append(0)
+            series.append(np.roll(base_b, generator.integers(-10, 10)) + generator.normal(0, 0.05, length))
+            labels.append(1)
+        return np.vstack(series), np.asarray(labels)
+
+    def test_separates_shifted_patterns(self, shifted_patterns):
+        data, truth = shifted_patterns
+        labels = KShape(n_clusters=2, n_init=2, random_state=0).fit_predict(data)
+        assert adjusted_rand_index(truth, labels) > 0.8
+
+    def test_centroids_are_znormalised(self, shifted_patterns):
+        data, _ = shifted_patterns
+        model = KShape(n_clusters=2, n_init=1, random_state=0).fit(data)
+        for centroid in model.cluster_centers_:
+            assert abs(centroid.mean()) < 1e-6
+            assert abs(centroid.std() - 1.0) < 1e-6
+
+    def test_predict_consistent_with_fit(self, shifted_patterns):
+        data, _ = shifted_patterns
+        model = KShape(n_clusters=2, n_init=1, random_state=0).fit(data)
+        assert np.array_equal(model.predict(data), model.labels_)
+
+    def test_deterministic(self, shifted_patterns):
+        data, _ = shifted_patterns
+        a = KShape(n_clusters=2, n_init=1, random_state=5).fit_predict(data)
+        b = KShape(n_clusters=2, n_init=1, random_state=5).fit_predict(data)
+        assert np.array_equal(a, b)
+
+    def test_too_many_clusters(self, shifted_patterns):
+        data, _ = shifted_patterns
+        with pytest.raises(ValidationError):
+            KShape(n_clusters=data.shape[0] + 1).fit(data)
+
+    def test_predict_length_mismatch(self, shifted_patterns):
+        data, _ = shifted_patterns
+        model = KShape(n_clusters=2, n_init=1, random_state=0).fit(data)
+        with pytest.raises(ValidationError):
+            model.predict(np.zeros((2, 10)))

@@ -1,0 +1,148 @@
+"""Unit tests for normalisation helpers and sliding-window extraction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.normalization import (
+    minmax_scale,
+    paa,
+    resample_dataset,
+    resample_length,
+    znormalize,
+    znormalize_dataset,
+)
+from repro.utils.windows import (
+    length_grid,
+    pad_series,
+    sliding_window_matrix,
+    subsequence_count,
+    subsequences_of_dataset,
+)
+
+
+class TestZNormalize:
+    def test_zero_mean_unit_std(self, rng):
+        series = rng.normal(5.0, 3.0, 100)
+        normalized = znormalize(series)
+        assert abs(normalized.mean()) < 1e-10
+        assert abs(normalized.std() - 1.0) < 1e-10
+
+    def test_constant_series_maps_to_zeros(self):
+        assert np.all(znormalize(np.full(10, 7.0)) == 0.0)
+
+    def test_dataset_rowwise(self, rng):
+        data = rng.normal(0.0, 2.0, (5, 50)) + np.arange(5)[:, None]
+        normalized = znormalize_dataset(data)
+        assert np.allclose(normalized.mean(axis=1), 0.0, atol=1e-10)
+        assert np.allclose(normalized.std(axis=1), 1.0, atol=1e-10)
+
+    def test_dataset_constant_row(self):
+        data = np.vstack([np.full(10, 3.0), np.arange(10, dtype=float)])
+        normalized = znormalize_dataset(data)
+        assert np.all(normalized[0] == 0.0)
+        assert normalized[1].std() > 0
+
+
+class TestMinMaxAndPaa:
+    def test_minmax_range(self, rng):
+        scaled = minmax_scale(rng.normal(size=50), (0.0, 1.0))
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_minmax_constant(self):
+        scaled = minmax_scale(np.full(5, 2.0), (0.0, 1.0))
+        assert np.all(scaled == 0.5)
+
+    def test_minmax_invalid_range(self):
+        with pytest.raises(ValidationError):
+            minmax_scale(np.arange(5.0), (1.0, 0.0))
+
+    def test_paa_reduces_length(self):
+        series = np.arange(100, dtype=float)
+        reduced = paa(series, 10)
+        assert reduced.shape == (10,)
+        assert reduced[0] == pytest.approx(np.mean(np.arange(10)))
+
+    def test_paa_longer_than_series_returns_copy(self):
+        series = np.arange(5, dtype=float)
+        assert np.array_equal(paa(series, 10), series)
+
+
+class TestResample:
+    def test_resample_preserves_endpoints(self):
+        series = np.linspace(0.0, 1.0, 10)
+        resampled = resample_length(series, 25)
+        assert resampled.shape == (25,)
+        assert resampled[0] == pytest.approx(series[0])
+        assert resampled[-1] == pytest.approx(series[-1])
+
+    def test_resample_same_length_is_copy(self):
+        series = np.arange(10, dtype=float)
+        out = resample_length(series, 10)
+        assert np.array_equal(out, series)
+        assert out is not series
+
+    def test_resample_dataset(self):
+        data = np.tile(np.arange(10.0), (3, 1))
+        out = resample_dataset(data, 20)
+        assert out.shape == (3, 20)
+
+
+class TestSlidingWindows:
+    def test_count_formula(self):
+        assert subsequence_count(10, 3) == 8
+        assert subsequence_count(10, 3, stride=2) == 4
+        assert subsequence_count(3, 10) == 0
+
+    def test_matrix_contents(self):
+        series = np.arange(6, dtype=float)
+        windows = sliding_window_matrix(series, 3)
+        assert windows.shape == (4, 3)
+        assert np.array_equal(windows[0], [0, 1, 2])
+        assert np.array_equal(windows[-1], [3, 4, 5])
+
+    def test_matrix_stride(self):
+        windows = sliding_window_matrix(np.arange(10, dtype=float), 4, stride=3)
+        assert windows.shape == (3, 4)
+        assert np.array_equal(windows[1], [3, 4, 5, 6])
+
+    def test_window_too_large(self):
+        with pytest.raises(ValidationError):
+            sliding_window_matrix(np.arange(3, dtype=float), 5)
+
+    def test_dataset_extraction_indices(self):
+        data = np.vstack([np.arange(8.0), np.arange(8.0) + 100])
+        windows, series_idx, positions = subsequences_of_dataset(data, 4)
+        assert windows.shape == (10, 4)
+        assert series_idx.tolist() == [0] * 5 + [1] * 5
+        assert positions.tolist() == list(range(5)) * 2
+
+
+class TestPadAndLengthGrid:
+    def test_pad_edge(self):
+        padded = pad_series(np.array([1.0, 2.0]), 5)
+        assert padded.tolist() == [1.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_pad_zero(self):
+        padded = pad_series(np.array([1.0, 2.0]), 4, mode="zero")
+        assert padded.tolist() == [1.0, 2.0, 0.0, 0.0]
+
+    def test_pad_truncates(self):
+        padded = pad_series(np.arange(10.0), 4)
+        assert padded.shape == (4,)
+
+    def test_pad_unknown_mode(self):
+        with pytest.raises(ValidationError):
+            pad_series(np.arange(4.0), 8, mode="mirror")
+
+    def test_length_grid_properties(self):
+        grid = length_grid(128, 4)
+        assert len(grid) <= 4
+        assert all(g < 128 for g in grid)
+        assert grid == sorted(grid)
+        assert len(set(grid)) == len(grid)
+
+    def test_length_grid_short_series(self):
+        grid = length_grid(16, 5)
+        assert all(2 <= g < 16 for g in grid)

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the mathematical properties the rest of the system relies on:
+metric symmetry and bounds, permutation invariance of partition measures,
+consensus-matrix structure, normalisation idempotence and graphoid
+monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.consensus import build_consensus_matrix
+from repro.graph.graphoid import extract_gamma_graphoid, extract_lambda_graphoid
+from repro.metrics.clustering import (
+    adjusted_rand_index,
+    normalized_mutual_information,
+    purity_score,
+    rand_index,
+)
+from repro.metrics.distances import dtw_distance, euclidean_distance, sbd_distance
+from repro.utils.normalization import znormalize
+from repro.utils.windows import sliding_window_matrix
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+def series_strategy(min_size=4, max_size=40):
+    return arrays(dtype=np.float64, shape=st.integers(min_size, max_size), elements=finite_floats)
+
+
+def labels_strategy(n):
+    return st.lists(st.integers(0, 4), min_size=n, max_size=n)
+
+
+# ---------------------------------------------------------------------------
+# distance properties
+# ---------------------------------------------------------------------------
+class TestDistanceProperties:
+    @given(series_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero(self, series):
+        assert euclidean_distance(series, series) == pytest.approx(0.0, abs=1e-9)
+        assert dtw_distance(series, series) == pytest.approx(0.0, abs=1e-9)
+
+    @given(series_strategy(8, 32), series_strategy(8, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_sbd_bounds_and_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        d_ab = sbd_distance(a, b)
+        d_ba = sbd_distance(b, a)
+        assert 0.0 - 1e-9 <= d_ab <= 2.0 + 1e-9
+        assert d_ab == pytest.approx(d_ba, abs=1e-7)
+
+    @given(series_strategy(8, 32), series_strategy(8, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_euclidean_symmetry_and_nonnegativity(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert euclidean_distance(a, b) >= 0.0
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+
+    @given(series_strategy(8, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_dtw_never_exceeds_euclidean(self, series):
+        rng = np.random.default_rng(0)
+        other = series + rng.normal(0, 1.0, size=series.shape[0])
+        assert dtw_distance(series, other) <= euclidean_distance(series, other) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# clustering-measure properties
+# ---------------------------------------------------------------------------
+class TestPartitionMeasureProperties:
+    @given(st.integers(5, 30).flatmap(lambda n: st.tuples(labels_strategy(n), labels_strategy(n))))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_and_bounds(self, pair):
+        a, b = pair
+        assert adjusted_rand_index(a, b) == pytest.approx(adjusted_rand_index(b, a), abs=1e-9)
+        assert -1.0 - 1e-9 <= adjusted_rand_index(a, b) <= 1.0 + 1e-9
+        assert 0.0 <= rand_index(a, b) <= 1.0
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+        assert 0.0 <= purity_score(a, b) <= 1.0
+
+    @given(st.integers(5, 30).flatmap(labels_strategy))
+    @settings(max_examples=40, deadline=None)
+    def test_self_agreement_is_perfect(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+        assert purity_score(labels, labels) == pytest.approx(1.0)
+
+    @given(
+        st.integers(5, 25).flatmap(labels_strategy),
+        st.permutations(list(range(5))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_label_permutation_invariance(self, labels, permutation):
+        renamed = [permutation[value] for value in labels]
+        assert adjusted_rand_index(labels, renamed) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# consensus-matrix properties
+# ---------------------------------------------------------------------------
+class TestConsensusProperties:
+    @given(
+        st.integers(4, 15).flatmap(
+            lambda n: st.lists(labels_strategy(n), min_size=1, max_size=5)
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_consensus_matrix_structure(self, partitions):
+        matrix = build_consensus_matrix([np.asarray(p) for p in partitions])
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.all(matrix >= -1e-12) and np.all(matrix <= 1.0 + 1e-12)
+
+
+# ---------------------------------------------------------------------------
+# normalisation / windowing properties
+# ---------------------------------------------------------------------------
+class TestTransformProperties:
+    @given(series_strategy(4, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_znormalize_idempotent(self, series):
+        once = znormalize(series)
+        twice = znormalize(once)
+        assert np.allclose(once, twice, atol=1e-7)
+
+    @given(series_strategy(4, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_znormalize_output_stats(self, series):
+        normalized = znormalize(series)
+        assert abs(float(normalized.mean())) < 1e-6
+        std = float(normalized.std())
+        assert std == pytest.approx(1.0, abs=1e-6) or std == 0.0
+
+    @given(series_strategy(10, 60), st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_sliding_windows_reconstruct_series(self, series, window):
+        window = min(window, series.shape[0])
+        windows = sliding_window_matrix(series, window)
+        assert windows.shape == (series.shape[0] - window + 1, window)
+        # First column equals the series prefix; every window is a contiguous slice.
+        assert np.allclose(windows[:, 0], series[: windows.shape[0]])
+        for offset in range(windows.shape[0]):
+            assert np.allclose(windows[offset], series[offset: offset + window])
+
+
+# ---------------------------------------------------------------------------
+# graphoid monotonicity on a real fitted model
+# ---------------------------------------------------------------------------
+class TestGraphoidProperties:
+    @given(low=st.floats(0.0, 1.0), high=st.floats(0.0, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_threshold_monotonicity(self, fitted_kgraph, low, high):
+        low, high = sorted((low, high))
+        graph = fitted_kgraph.result_.optimal_graph
+        labels = fitted_kgraph.result_.labels
+        cluster = int(labels[0])
+        loose_gamma = extract_gamma_graphoid(graph, labels, cluster, low)
+        strict_gamma = extract_gamma_graphoid(graph, labels, cluster, high)
+        assert set(strict_gamma.nodes) <= set(loose_gamma.nodes)
+        loose_lambda = extract_lambda_graphoid(graph, labels, cluster, low)
+        strict_lambda = extract_lambda_graphoid(graph, labels, cluster, high)
+        assert set(strict_lambda.nodes) <= set(loose_lambda.nodes)

@@ -1,0 +1,93 @@
+"""Unit tests for the RNG pool and timing utilities."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequencePool, spawn_rng
+from repro.utils.timing import Stopwatch, format_duration
+
+
+class TestSpawnRng:
+    def test_count_and_type(self):
+        children = spawn_rng(0, 4)
+        assert len(children) == 4
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+    def test_deterministic(self):
+        first = [g.integers(0, 100, 3).tolist() for g in spawn_rng(7, 3)]
+        second = [g.integers(0, 100, 3).tolist() for g in spawn_rng(7, 3)]
+        assert first == second
+
+    def test_children_differ(self):
+        children = spawn_rng(0, 2)
+        a = children[0].integers(0, 10**6, 10)
+        b = children[1].integers(0, 10**6, 10)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequencePool:
+    def test_deterministic_sequence(self):
+        pool_a = SeedSequencePool(3)
+        pool_b = SeedSequencePool(3)
+        assert [pool_a.next_seed() for _ in range(5)] == [pool_b.next_seed() for _ in range(5)]
+
+    def test_issued_counter(self):
+        pool = SeedSequencePool(0)
+        pool.next_rng()
+        pool.next_seed()
+        assert pool.issued == 2
+
+    def test_iter_rngs_finite(self):
+        pool = SeedSequencePool(0)
+        rngs = list(pool.iter_rngs(3))
+        assert len(rngs) == 3
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(5e-6).endswith("µs")
+
+    def test_milliseconds(self):
+        assert format_duration(0.25) == "250.0ms"
+
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.50s"
+
+    def test_minutes(self):
+        assert format_duration(125.0).startswith("2m")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestStopwatch:
+    def test_sections_accumulate(self):
+        watch = Stopwatch()
+        with watch.section("a"):
+            time.sleep(0.01)
+        with watch.section("a"):
+            time.sleep(0.01)
+        with watch.section("b"):
+            pass
+        totals = watch.totals()
+        assert totals["a"] >= 0.02
+        assert watch.counts() == {"a": 2, "b": 1}
+        assert watch.total() == pytest.approx(sum(totals.values()))
+
+    def test_report_mentions_sections(self):
+        watch = Stopwatch()
+        with watch.section("embedding"):
+            pass
+        report = watch.report()
+        assert "embedding" in report
+        assert "total" in report
+
+    def test_exception_still_recorded(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch.section("fails"):
+                raise RuntimeError("boom")
+        assert "fails" in watch.totals()

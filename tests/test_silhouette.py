@@ -1,0 +1,51 @@
+"""Unit tests for the silhouette coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.distances import pairwise_distances
+from repro.metrics.silhouette import silhouette_samples, silhouette_score
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_have_high_score(self, blob_data):
+        points, labels = blob_data
+        assert silhouette_score(points, labels) > 0.7
+
+    def test_random_labels_have_low_score(self, blob_data, rng):
+        points, labels = blob_data
+        shuffled = rng.permutation(labels)
+        assert silhouette_score(points, shuffled) < silhouette_score(points, labels)
+
+    def test_values_in_range(self, blob_data):
+        points, labels = blob_data
+        values = silhouette_samples(points, labels)
+        assert values.shape == (points.shape[0],)
+        assert np.all(values >= -1.0) and np.all(values <= 1.0)
+
+    def test_precomputed_matches_feature_input(self, blob_data):
+        points, labels = blob_data
+        direct = silhouette_score(points, labels)
+        matrix = pairwise_distances(points)
+        precomputed = silhouette_score(matrix, labels, precomputed=True)
+        assert direct == pytest.approx(precomputed)
+
+    def test_single_cluster_returns_zero(self, blob_data):
+        points, _ = blob_data
+        assert silhouette_score(points, np.zeros(points.shape[0], dtype=int)) == 0.0
+
+    def test_subsampling(self, blob_data):
+        points, labels = blob_data
+        value = silhouette_score(points, labels, sample_size=30, random_state=0)
+        assert -1.0 <= value <= 1.0
+
+    def test_invalid_distance_matrix(self):
+        asymmetric = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValidationError):
+            silhouette_samples(asymmetric, [0, 1], precomputed=True)
+
+    def test_label_length_mismatch(self, blob_data):
+        points, labels = blob_data
+        with pytest.raises(ValidationError):
+            silhouette_samples(points, labels[:-1])

@@ -1,0 +1,134 @@
+"""Unit tests for spectral clustering and the density-based clusterers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dbscan import DBSCAN
+from repro.cluster.meanshift import MeanShift, estimate_bandwidth
+from repro.cluster.optics import OPTICS
+from repro.cluster.spectral import SpectralClustering
+from repro.exceptions import ValidationError
+from repro.metrics.clustering import adjusted_rand_index
+from repro.metrics.distances import pairwise_distances
+
+
+class TestSpectralClustering:
+    def test_recovers_blobs_with_rbf(self, blob_data):
+        points, truth = blob_data
+        labels = SpectralClustering(n_clusters=3, random_state=0).fit_predict(points)
+        assert adjusted_rand_index(truth, labels) > 0.9
+
+    def test_precomputed_block_affinity(self):
+        # Two perfect blocks in the affinity matrix must be recovered exactly.
+        affinity = np.zeros((10, 10))
+        affinity[:5, :5] = 1.0
+        affinity[5:, 5:] = 1.0
+        labels = SpectralClustering(
+            n_clusters=2, affinity="precomputed", random_state=0
+        ).fit_predict(affinity)
+        assert adjusted_rand_index([0] * 5 + [1] * 5, labels) == pytest.approx(1.0)
+
+    def test_embedding_shape(self, blob_data):
+        points, _ = blob_data
+        model = SpectralClustering(n_clusters=3, random_state=0).fit(points)
+        assert model.embedding_.shape == (points.shape[0], 3)
+
+    def test_invalid_affinity_mode(self):
+        with pytest.raises(ValidationError):
+            SpectralClustering(2, affinity="cosine")
+
+    def test_nonsquare_precomputed(self):
+        with pytest.raises(ValidationError):
+            SpectralClustering(2, affinity="precomputed").fit(np.zeros((3, 4)))
+
+    def test_negative_affinity_rejected(self):
+        matrix = -np.ones((4, 4))
+        with pytest.raises(ValidationError):
+            SpectralClustering(2, affinity="precomputed").fit(matrix)
+
+    def test_too_many_clusters(self, blob_data):
+        points, _ = blob_data
+        with pytest.raises(ValidationError):
+            SpectralClustering(n_clusters=points.shape[0] + 1).fit(points)
+
+
+class TestDBSCAN:
+    def test_recovers_blobs(self, blob_data):
+        points, truth = blob_data
+        labels = DBSCAN(eps=1.2, min_samples=4).fit_predict(points)
+        clustered = labels >= 0
+        assert clustered.mean() > 0.9
+        assert adjusted_rand_index(truth[clustered], labels[clustered]) > 0.9
+
+    def test_far_outlier_is_noise(self, blob_data):
+        points, _ = blob_data
+        augmented = np.vstack([points, [[100.0, 100.0]]])
+        labels = DBSCAN(eps=1.2, min_samples=4).fit_predict(augmented)
+        assert labels[-1] == -1
+
+    def test_precomputed_matches_feature_input(self, blob_data):
+        points, _ = blob_data
+        direct = DBSCAN(eps=1.2, min_samples=4).fit_predict(points)
+        matrix = pairwise_distances(points)
+        precomputed = DBSCAN(eps=1.2, min_samples=4, metric="precomputed").fit_predict(matrix)
+        assert adjusted_rand_index(direct, precomputed) == pytest.approx(1.0)
+
+    def test_core_samples_recorded(self, blob_data):
+        points, _ = blob_data
+        model = DBSCAN(eps=1.2, min_samples=4).fit(points)
+        assert model.core_sample_indices_.size > 0
+
+    def test_invalid_eps(self):
+        with pytest.raises(ValidationError):
+            DBSCAN(eps=0.0)
+
+
+class TestOPTICS:
+    def test_ordering_covers_all_points(self, blob_data):
+        points, _ = blob_data
+        model = OPTICS(min_samples=4).fit(points)
+        assert sorted(model.ordering_.tolist()) == list(range(points.shape[0]))
+
+    def test_recovers_blob_structure(self, blob_data):
+        points, truth = blob_data
+        labels = OPTICS(min_samples=4).fit_predict(points)
+        clustered = labels >= 0
+        assert clustered.mean() > 0.7
+        assert adjusted_rand_index(truth[clustered], labels[clustered]) > 0.8
+
+    def test_explicit_cluster_eps(self, blob_data):
+        points, truth = blob_data
+        labels = OPTICS(min_samples=4, cluster_eps=1.5).fit_predict(points)
+        clustered = labels >= 0
+        assert adjusted_rand_index(truth[clustered], labels[clustered]) > 0.8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            OPTICS(min_samples=0)
+        with pytest.raises(ValidationError):
+            OPTICS(min_samples=3, max_eps=-1.0)
+        with pytest.raises(ValidationError):
+            OPTICS(min_samples=3, cluster_eps=0.0)
+
+
+class TestMeanShift:
+    def test_finds_three_modes(self, blob_data):
+        points, truth = blob_data
+        model = MeanShift(bandwidth=2.0).fit(points)
+        assert model.cluster_centers_.shape[0] == 3
+        assert adjusted_rand_index(truth, model.labels_) > 0.95
+
+    def test_bandwidth_estimation_positive(self, blob_data):
+        points, _ = blob_data
+        assert estimate_bandwidth(points) > 0
+
+    def test_auto_bandwidth_runs(self, blob_data):
+        points, truth = blob_data
+        labels = MeanShift().fit_predict(points)
+        assert labels.shape == (points.shape[0],)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            MeanShift(bandwidth=-1.0)
+        with pytest.raises(ValidationError):
+            estimate_bandwidth(np.zeros((5, 2)), quantile=0.0)

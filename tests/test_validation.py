@@ -1,0 +1,168 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_consistent_length,
+    check_labels,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+    check_time_series_dataset,
+)
+
+
+class TestCheckRandomState:
+    def test_none_returns_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = check_random_state(42).integers(0, 1000, 5)
+        b = check_random_state(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert check_random_state(generator) is generator
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state(-1)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_numpy_int_accepted(self):
+        assert check_positive_int(np.int64(4), "x") == 4
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(1, "x", minimum=2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckProbability:
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_probability(0.0, "p", inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_probability(float("nan"), "p")
+
+
+class TestCheckArray:
+    def test_list_converted(self):
+        array = check_array([[1, 2], [3, 4]])
+        assert array.shape == (2, 2)
+        assert array.dtype == float
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array(3.0)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected_by_default(self):
+        with pytest.raises(ValidationError):
+            check_array([1.0, np.nan])
+
+    def test_nan_allowed_when_requested(self):
+        array = check_array([1.0, np.nan], allow_nan=True)
+        assert np.isnan(array[1])
+
+    def test_min_rows(self):
+        with pytest.raises(ValidationError):
+            check_array([[1.0, 2.0]], min_rows=2)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array([["a", "b"]])
+
+
+class TestCheckLabels:
+    def test_integer_labels(self):
+        labels = check_labels([0, 1, 1, 2])
+        assert labels.dtype.kind == "i"
+
+    def test_string_labels_encoded(self):
+        labels = check_labels(["a", "b", "a"])
+        assert set(labels.tolist()) == {0, 1}
+        assert labels[0] == labels[2]
+
+    def test_float_integerish_accepted(self):
+        labels = check_labels([0.0, 1.0, 2.0])
+        assert labels.tolist() == [0, 1, 2]
+
+    def test_non_integer_float_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([0.5, 1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_labels([0, 1], n_samples=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            check_labels(np.zeros((2, 2)))
+
+
+class TestCheckTimeSeriesDataset:
+    def test_basic(self):
+        data = check_time_series_dataset(np.zeros((3, 10)))
+        assert data.shape == (3, 10)
+
+    def test_1d_promoted(self):
+        data = check_time_series_dataset(np.zeros(10), min_series=1)
+        assert data.shape == (1, 10)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValidationError):
+            check_time_series_dataset(np.zeros((3, 2)))
+
+    def test_too_few_series(self):
+        with pytest.raises(ValidationError):
+            check_time_series_dataset(np.zeros((1, 10)), min_series=2)
+
+
+class TestCheckConsistentLength:
+    def test_consistent(self):
+        check_consistent_length(np.zeros(3), np.ones(3))
+
+    def test_inconsistent(self):
+        with pytest.raises(ValidationError):
+            check_consistent_length(np.zeros(3), np.ones(4))

@@ -1,0 +1,150 @@
+"""Unit tests for the SVG canvas and the plot functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import VisualizationError
+from repro.viz.plots import (
+    bar_chart,
+    box_plot,
+    curve_comparison,
+    heatmap,
+    histogram,
+    line_plot,
+    scatter_plot,
+    series_grid,
+)
+from repro.viz.svg import SVGCanvas
+from repro.viz.theme import CLUSTER_PALETTE, color_for_cluster, diverging_color, sequential_color
+
+
+def _is_svg(text: str) -> bool:
+    return text.startswith("<svg") and text.rstrip().endswith("</svg>")
+
+
+class TestSVGCanvas:
+    def test_empty_canvas_serialises(self):
+        canvas = SVGCanvas(100, 50)
+        svg = canvas.to_svg()
+        assert _is_svg(svg)
+        assert 'width="100"' in svg and 'height="50"' in svg
+
+    def test_primitives_appear_in_output(self):
+        canvas = SVGCanvas(200, 200, background="#ffffff")
+        canvas.rect(10, 10, 50, 20, fill="#ff0000", tooltip="a box")
+        canvas.line(0, 0, 100, 100, dashed=True)
+        canvas.polyline([(0, 0), (10, 5), (20, 0)], stroke="#00ff00")
+        canvas.circle(50, 50, 5, tooltip="a node")
+        canvas.text(5, 5, "hello <world>")
+        canvas.arrow(0, 0, 30, 30)
+        svg = canvas.to_svg()
+        for tag in ("<rect", "<line", "<polyline", "<circle", "<text"):
+            assert tag in svg
+        assert "stroke-dasharray" in svg
+        assert "&lt;world&gt;" in svg  # text is escaped
+        assert "<title>a node</title>" in svg
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(VisualizationError):
+            SVGCanvas(0, 10)
+
+    def test_polyline_needs_two_points(self):
+        canvas = SVGCanvas(10, 10)
+        with pytest.raises(VisualizationError):
+            canvas.polyline([(1, 1)])
+
+
+class TestTheme:
+    def test_cluster_colors_cycle(self):
+        assert color_for_cluster(0) == CLUSTER_PALETTE[0]
+        assert color_for_cluster(len(CLUSTER_PALETTE)) == CLUSTER_PALETTE[0]
+
+    def test_sequential_color_range(self):
+        for value in (-1.0, 0.0, 0.5, 1.0, 2.0):
+            color = sequential_color(value)
+            assert color.startswith("#") and len(color) == 7
+
+    def test_diverging_color_range(self):
+        assert diverging_color(-1.0) != diverging_color(1.0)
+        assert diverging_color(0.0).startswith("#")
+
+
+class TestPlots:
+    def test_line_plot(self, rng):
+        svg = line_plot([rng.normal(size=50), rng.normal(size=50)], labels=[0, 1], title="demo")
+        assert _is_svg(svg)
+        assert "demo" in svg
+
+    def test_line_plot_highlight(self, rng):
+        svg = line_plot([rng.normal(size=60)], highlight=[(0, 10, 30)])
+        assert _is_svg(svg)
+        assert "#d62728" in svg  # highlight colour present
+
+    def test_line_plot_empty_rejected(self):
+        with pytest.raises(VisualizationError):
+            line_plot([])
+
+    def test_series_grid(self, small_dataset):
+        svg = series_grid(small_dataset.data, small_dataset.labels, title="clusters")
+        assert _is_svg(svg)
+        # One panel label per cluster.
+        for cluster in np.unique(small_dataset.labels):
+            assert f"cluster {cluster}" in svg
+
+    def test_series_grid_label_mismatch(self, small_dataset):
+        with pytest.raises(VisualizationError):
+            series_grid(small_dataset.data, small_dataset.labels[:-1])
+
+    def test_scatter_plot_with_extras(self, blob_data):
+        points, labels = blob_data
+        svg = scatter_plot(points, labels=labels, extra_points=[(0.0, 0.0)])
+        assert _is_svg(svg)
+
+    def test_scatter_needs_2d(self):
+        with pytest.raises(VisualizationError):
+            scatter_plot(np.zeros((5, 1)))
+
+    def test_box_plot(self, rng):
+        groups = {f"method_{i}": rng.normal(0.5, 0.1, 20).tolist() for i in range(4)}
+        svg = box_plot(groups, title="ARI", highlight="method_2")
+        assert _is_svg(svg)
+        assert "method_3" in svg
+
+    def test_box_plot_empty_group(self):
+        with pytest.raises(VisualizationError):
+            box_plot({"a": []})
+
+    def test_heatmap_small_and_downsampled(self, rng):
+        small = heatmap(rng.normal(size=(10, 12)), title="matrix")
+        assert _is_svg(small)
+        large = heatmap(rng.normal(size=(300, 500)), max_cells=50)
+        assert _is_svg(large)
+        # Downsampling keeps the SVG compact.
+        assert len(large) < 1_000_000
+
+    def test_bar_chart(self):
+        svg = bar_chart({"cluster 0": 0.8, "cluster 1": 0.3}, title="exclusivity")
+        assert _is_svg(svg)
+        assert "exclusivity" in svg
+
+    def test_bar_chart_empty(self):
+        with pytest.raises(VisualizationError):
+            bar_chart({})
+
+    def test_histogram(self, rng):
+        svg = histogram(rng.normal(size=300), n_bins=15, title="scores")
+        assert _is_svg(svg)
+
+    def test_curve_comparison_with_marker(self):
+        svg = curve_comparison(
+            [8, 16, 32],
+            {"W_c": [0.5, 0.9, 0.7], "W_e": [0.3, 0.4, 0.6]},
+            marker=16.0,
+            title="length selection",
+        )
+        assert _is_svg(svg)
+        assert "W_c" in svg and "W_e" in svg
+
+    def test_curve_length_mismatch(self):
+        with pytest.raises(VisualizationError):
+            curve_comparison([1, 2, 3], {"a": [0.1, 0.2]})
