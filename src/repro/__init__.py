@@ -23,6 +23,13 @@ experiments reproducing every frame/figure of the paper.
 
 from repro.core.kgraph import KGraph, KGraphResult
 from repro.datasets.catalogue import default_catalogue, generate_dataset, list_dataset_names
+from repro.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.metrics.clustering import (
     adjusted_mutual_information,
     adjusted_rand_index,
@@ -34,10 +41,15 @@ from repro.utils.containers import TimeSeriesDataset
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionBackend",
     "KGraph",
     "KGraphResult",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
     "TimeSeriesDataset",
     "__version__",
+    "resolve_backend",
     "adjusted_mutual_information",
     "adjusted_rand_index",
     "default_catalogue",

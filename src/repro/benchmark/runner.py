@@ -11,14 +11,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.baselines.registry import all_baseline_names, get_method
-from repro.datasets.catalogue import DatasetCatalogue, default_catalogue
+from repro.datasets.catalogue import DatasetCatalogue, DatasetSpec, default_catalogue
 from repro.exceptions import BenchmarkError
 from repro.metrics.clustering import clustering_report
+from repro.parallel import ExecutionBackend, backend_scope
 from repro.utils.containers import TimeSeriesDataset
 from repro.utils.rng import SeedSequencePool
 from repro.utils.validation import check_positive_int
@@ -93,6 +94,63 @@ class BenchmarkResult:
         )
 
 
+def run_single_benchmark(
+    method_name: str, dataset: TimeSeriesDataset, random_state=None
+) -> BenchmarkResult:
+    """Run one method on one (already materialised) dataset.
+
+    Module-level (hence picklable) so campaign jobs can be dispatched
+    through any :class:`~repro.parallel.ExecutionBackend`.
+    """
+    method = get_method(method_name)
+    n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
+    result = BenchmarkResult(
+        method=method.name,
+        family=method.family,
+        dataset=dataset.name,
+        dataset_type=dataset.dataset_type,
+        n_series=dataset.n_series,
+        length=dataset.length,
+        n_classes=dataset.n_classes,
+    )
+    start = time.perf_counter()
+    try:
+        labels = method.fit_predict(dataset, n_clusters, random_state=random_state)
+        result.runtime_seconds = time.perf_counter() - start
+        if dataset.labels is not None:
+            result.measures = clustering_report(dataset.labels, labels)
+    except Exception as exc:  # noqa: BLE001 - a failing baseline must not stop the campaign
+        result.runtime_seconds = time.perf_counter() - start
+        result.error = f"{type(exc).__name__}: {exc}"
+    return result
+
+
+@dataclass(frozen=True)
+class _CampaignJob:
+    """One (method, dataset, run) cell of the campaign grid.
+
+    Seeds are pre-drawn by the parent in the exact order the serial loop
+    would draw them, so campaigns are bit-identical across backends.
+    """
+
+    method_name: str
+    spec: DatasetSpec
+    run_index: int
+    dataset_seed: int
+    method_seed: int
+
+
+def _execute_campaign_job(job: _CampaignJob) -> BenchmarkResult:
+    """Materialise the dataset and run one method on it (picklable)."""
+    dataset = job.spec.generate(random_state=job.dataset_seed)
+    return run_single_benchmark(
+        job.method_name, dataset, random_state=job.method_seed
+    )
+
+
+ProgressCallback = Callable[[str, str, BenchmarkResult], None]
+
+
 class BenchmarkRunner:
     """Runs a set of methods over a set of datasets.
 
@@ -108,6 +166,12 @@ class BenchmarkRunner:
         are averaged over runs (the Benchmark frame shows one point per pair).
     random_state:
         Seed pool controlling dataset generation and method seeds.
+    backend, n_jobs:
+        Execution backend for the ``methods x datasets x runs`` grid.
+        Defaults to serial; ``n_jobs=4`` selects a 4-worker thread pool,
+        ``backend="process"`` a process pool (which requires picklable
+        catalogue generators).  Seeds are pre-drawn in serial order, so
+        results are identical across backends — see :mod:`repro.parallel`.
     """
 
     def __init__(
@@ -117,6 +181,8 @@ class BenchmarkRunner:
         catalogue: Optional[DatasetCatalogue] = None,
         n_runs: int = 1,
         random_state=None,
+        backend: Union[None, str, ExecutionBackend] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if methods is None:
             methods = all_baseline_names() + ["kgraph"]
@@ -125,6 +191,8 @@ class BenchmarkRunner:
         self.methods = [get_method(name).name for name in methods]
         self.catalogue = catalogue if catalogue is not None else default_catalogue()
         self.n_runs = check_positive_int(n_runs, "n_runs")
+        self.backend = backend
+        self.n_jobs = n_jobs
         self._seed_pool = SeedSequencePool(random_state)
 
     # ------------------------------------------------------------------ #
@@ -132,33 +200,34 @@ class BenchmarkRunner:
         self, method_name: str, dataset: TimeSeriesDataset, random_state=None
     ) -> BenchmarkResult:
         """Run one method on one (already materialised) dataset."""
-        method = get_method(method_name)
-        n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
-        result = BenchmarkResult(
-            method=method.name,
-            family=method.family,
-            dataset=dataset.name,
-            dataset_type=dataset.dataset_type,
-            n_series=dataset.n_series,
-            length=dataset.length,
-            n_classes=dataset.n_classes,
+        return run_single_benchmark(method_name, dataset, random_state=random_state)
+
+    def _job_result(self, job: _CampaignJob, outcome) -> BenchmarkResult:
+        """Turn a job outcome into a result, capturing job-level failures.
+
+        Method errors are already recorded by :func:`run_single_benchmark`;
+        this additionally isolates failures of the job itself (dataset
+        generation, or pickling for the process backend) so one broken cell
+        cannot take down a whole campaign.
+        """
+        if outcome.ok:
+            return outcome.value
+        return BenchmarkResult(
+            method=job.method_name,
+            family=get_method(job.method_name).family,
+            dataset=job.spec.name,
+            dataset_type=job.spec.dataset_type,
+            n_series=job.spec.n_series,
+            length=job.spec.length,
+            n_classes=job.spec.n_classes,
+            error=outcome.error,
         )
-        start = time.perf_counter()
-        try:
-            labels = method.fit_predict(dataset, n_clusters, random_state=random_state)
-            result.runtime_seconds = time.perf_counter() - start
-            if dataset.labels is not None:
-                result.measures = clustering_report(dataset.labels, labels)
-        except Exception as exc:  # noqa: BLE001 - a failing baseline must not stop the campaign
-            result.runtime_seconds = time.perf_counter() - start
-            result.error = f"{type(exc).__name__}: {exc}"
-        return result
 
     def run(
         self,
         dataset_names: Optional[Sequence[str]] = None,
         *,
-        progress: Optional[callable] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[BenchmarkResult]:
         """Run the full campaign and return one averaged result per pair.
 
@@ -168,25 +237,68 @@ class BenchmarkRunner:
             Subset of catalogue names; ``None`` runs the whole catalogue.
         progress:
             Optional callback ``(method, dataset, result)`` invoked after each
-            individual run (used by the CLI to stream progress).
+            individual run (used by the CLI to stream progress).  With a
+            parallel backend the callback fires in completion order.
         """
         names = list(dataset_names) if dataset_names is not None else self.catalogue.names()
-        results: List[BenchmarkResult] = []
+        # Build the campaign grid with seeds drawn in the exact nested-loop
+        # order of the serial implementation (dataset -> method -> run).
+        jobs: List[_CampaignJob] = []
         for dataset_name in names:
             spec = self.catalogue.get(dataset_name)
             for method_name in self.methods:
-                per_run: List[BenchmarkResult] = []
-                for _ in range(self.n_runs):
-                    dataset = spec.generate(random_state=self._seed_pool.next_seed())
-                    run_result = self.run_single(
-                        method_name, dataset, random_state=self._seed_pool.next_seed()
+                for run_index in range(self.n_runs):
+                    jobs.append(
+                        _CampaignJob(
+                            method_name=method_name,
+                            spec=spec,
+                            run_index=run_index,
+                            dataset_seed=self._seed_pool.next_seed(),
+                            method_seed=self._seed_pool.next_seed(),
+                        )
                     )
-                    per_run.append(run_result)
-                    if progress is not None:
-                        progress(method_name, dataset_name, run_result)
-                results.append(self._average(per_run))
-        if not results:
+        if not jobs:
             raise BenchmarkError("the benchmark campaign produced no results")
+
+        # Convert each outcome exactly once, so the object streamed to the
+        # progress callback is the same one that enters the averaging step.
+        converted: Dict[int, BenchmarkResult] = {}
+
+        def _result_for(outcome) -> BenchmarkResult:
+            # setdefault keeps this safe even against a backend that violates
+            # the calling-thread contract of on_result: the same object always
+            # wins, so progress and averaging never see diverging results.
+            if outcome.index not in converted:
+                converted.setdefault(
+                    outcome.index, self._job_result(jobs[outcome.index], outcome)
+                )
+            return converted[outcome.index]
+
+        on_result = None
+        if progress is not None:
+            def on_result(outcome) -> None:
+                job = jobs[outcome.index]
+                progress(job.method_name, job.spec.name, _result_for(outcome))
+
+        with backend_scope(self.backend, self.n_jobs) as backend:
+            outcomes = backend.map_jobs(_execute_campaign_job, jobs, on_result=on_result)
+        # Group by the outcome's own job index rather than list position, so
+        # a third-party backend returning completion order cannot silently
+        # misalign the per-pair averages.
+        by_index = {outcome.index: outcome for outcome in outcomes}
+        if sorted(by_index) != list(range(len(jobs))):
+            raise BenchmarkError(
+                f"execution backend returned outcomes for {sorted(by_index)} "
+                f"but the campaign submitted {len(jobs)} jobs"
+            )
+
+        results: List[BenchmarkResult] = []
+        for start in range(0, len(jobs), self.n_runs):
+            per_run = [
+                _result_for(by_index[index])
+                for index in range(start, start + self.n_runs)
+            ]
+            results.append(self._average(per_run))
         return results
 
     @staticmethod

@@ -19,7 +19,7 @@ Every intermediate artifact is kept on the fitted estimator (and bundled in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -40,6 +40,7 @@ from repro.graph.graphoid import (
     node_representativity,
 )
 from repro.graph.structure import TimeSeriesGraph
+from repro.parallel import ExecutionBackend, backend_scope
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
@@ -125,6 +126,90 @@ class KGraphResult:
         }
 
 
+@dataclass(frozen=True)
+class _LengthFitJob:
+    """Picklable payload for one per-length embedding+clustering stage.
+
+    The generator is pre-spawned by the parent (one child stream per length,
+    see :func:`repro.utils.rng.spawn_rng`), so dispatching the job to a
+    thread or another process consumes exactly the same random stream as the
+    serial path — results are bit-identical across backends.
+    """
+
+    length: int
+    array: np.ndarray
+    stride: int
+    n_sectors: int
+    feature_mode: str
+    n_clusters: int
+    rng: np.random.Generator
+
+
+@dataclass
+class _LengthFit:
+    """What one per-length stage sends back to the parent."""
+
+    length: int
+    graph: TimeSeriesGraph
+    partition: GraphPartition
+    timings: Dict[str, float]
+    counts: Dict[str, int]
+
+
+def _fit_one_length(job: _LengthFitJob) -> _LengthFit:
+    """Pure per-length pipeline stage: graph embedding then graph clustering.
+
+    Module-level (hence picklable) so a :class:`~repro.parallel.ProcessBackend`
+    can run the M independent stages of Figure 1 concurrently.  Timings are
+    collected on a worker-local stopwatch and merged by the parent.
+    """
+    watch = Stopwatch()
+    with watch.section("graph_embedding"):
+        embedding = GraphEmbedding(
+            job.length,
+            stride=job.stride,
+            n_sectors=job.n_sectors,
+            random_state=job.rng,
+        )
+        graph = embedding.fit(job.array)
+    with watch.section("graph_clustering"):
+        partition = cluster_graph(
+            graph,
+            job.n_clusters,
+            feature_mode=job.feature_mode,
+            random_state=job.rng,
+        )
+    return _LengthFit(
+        length=job.length,
+        graph=graph,
+        partition=partition,
+        timings=watch.totals(),
+        counts=watch.counts(),
+    )
+
+
+@dataclass(frozen=True)
+class _GraphoidJob:
+    """Picklable payload for extracting one cluster's graphoids."""
+
+    graph: TimeSeriesGraph
+    labels: np.ndarray
+    cluster: int
+    lambda_threshold: float
+    gamma_threshold: float
+
+
+def _extract_cluster_graphoids(job: _GraphoidJob) -> Tuple[int, Graphoid, Graphoid]:
+    """Extract the λ- and γ-graphoid of one cluster (deterministic)."""
+    lam = extract_lambda_graphoid(
+        job.graph, job.labels, job.cluster, job.lambda_threshold
+    )
+    gam = extract_gamma_graphoid(
+        job.graph, job.labels, job.cluster, job.gamma_threshold
+    )
+    return job.cluster, lam, gam
+
+
 class KGraph:
     """Graph-based interpretable time series clustering.
 
@@ -149,6 +234,13 @@ class KGraph:
         frame lets the user change them interactively afterwards).
     random_state:
         Seed or generator controlling every stochastic sub-step.
+    backend, n_jobs:
+        Execution backend for the embarrassingly parallel pipeline stages
+        (per-length embedding+clustering, length scoring, graphoid
+        extraction).  Defaults to serial execution; ``n_jobs=4`` selects a
+        4-worker thread pool, ``backend="process"`` a process pool.  Results
+        are bit-identical across backends for a fixed ``random_state`` —
+        see :mod:`repro.parallel`.
 
     Examples
     --------
@@ -173,6 +265,8 @@ class KGraph:
         lambda_threshold: float = 0.5,
         gamma_threshold: float = 0.5,
         random_state=None,
+        backend: Union[None, str, ExecutionBackend] = None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters", minimum=2)
         self.n_lengths = check_positive_int(n_lengths, "n_lengths")
@@ -191,6 +285,8 @@ class KGraph:
         self.lambda_threshold = check_probability(lambda_threshold, "lambda_threshold")
         self.gamma_threshold = check_probability(gamma_threshold, "gamma_threshold")
         self.random_state = random_state
+        self.backend = backend
+        self.n_jobs = n_jobs
 
         self.result_: Optional[KGraphResult] = None
         self.labels_: Optional[np.ndarray] = None
@@ -211,33 +307,42 @@ class KGraph:
         """Run the full k-Graph pipeline on ``data`` (n_series x length)."""
         array = check_time_series_dataset(data, min_series=self.n_clusters)
         rng = check_random_state(self.random_state)
+        # Pooled workers of a backend we create here are released when the
+        # fit ends; a caller-supplied backend instance stays open.
+        with backend_scope(self.backend, self.n_jobs) as backend:
+            return self._fit_pipeline(array, rng, backend)
+
+    def _fit_pipeline(
+        self, array: np.ndarray, rng: np.random.Generator, backend: ExecutionBackend
+    ) -> "KGraph":
         watch = Stopwatch()
 
         lengths = self._resolve_lengths(array.shape[1])
+        # Pre-spawn one child stream per length (plus one for the consensus
+        # step) so the per-length stages stay deterministic no matter which
+        # backend runs them, or in which order they complete.
         child_rngs = spawn_rng(rng, len(lengths) + 1)
         consensus_rng, per_length_rngs = child_rngs[0], child_rngs[1:]
 
+        jobs = [
+            _LengthFitJob(
+                length=length,
+                array=array,
+                stride=self.stride,
+                n_sectors=self.n_sectors,
+                feature_mode=self.feature_mode,
+                n_clusters=self.n_clusters,
+                rng=length_rng,
+            )
+            for length, length_rng in zip(lengths, per_length_rngs)
+        ]
         graphs: Dict[int, TimeSeriesGraph] = {}
         partitions: List[GraphPartition] = []
-        for length, length_rng in zip(lengths, per_length_rngs):
-            with watch.section("graph_embedding"):
-                embedding = GraphEmbedding(
-                    length,
-                    stride=self.stride,
-                    n_sectors=self.n_sectors,
-                    random_state=length_rng,
-                )
-                graph = embedding.fit(array)
-            graphs[length] = graph
-            with watch.section("graph_clustering"):
-                partitions.append(
-                    cluster_graph(
-                        graph,
-                        self.n_clusters,
-                        feature_mode=self.feature_mode,
-                        random_state=length_rng,
-                    )
-                )
+        for outcome in backend.map_jobs(_fit_one_length, jobs):
+            fitted: _LengthFit = outcome.unwrap()
+            graphs[fitted.length] = fitted.graph
+            partitions.append(fitted.partition)
+            watch.merge(fitted.timings, fitted.counts)
 
         with watch.section("consensus_clustering"):
             labels, consensus = consensus_clustering(
@@ -247,21 +352,26 @@ class KGraph:
             )
 
         with watch.section("interpretability"):
-            scores = interpretability_scores(graphs, partitions, labels)
+            scores = interpretability_scores(graphs, partitions, labels, backend=backend)
             optimal_length = select_optimal_length(scores)
             optimal_graph = graphs[optimal_length]
-            lambda_graphoids = {
-                int(cluster): extract_lambda_graphoid(
-                    optimal_graph, labels, int(cluster), self.lambda_threshold
+            clusters = [int(cluster) for cluster in np.unique(labels)]
+            graphoid_jobs = [
+                _GraphoidJob(
+                    graph=optimal_graph,
+                    labels=labels,
+                    cluster=cluster,
+                    lambda_threshold=self.lambda_threshold,
+                    gamma_threshold=self.gamma_threshold,
                 )
-                for cluster in np.unique(labels)
-            }
-            gamma_graphoids = {
-                int(cluster): extract_gamma_graphoid(
-                    optimal_graph, labels, int(cluster), self.gamma_threshold
-                )
-                for cluster in np.unique(labels)
-            }
+                for cluster in clusters
+            ]
+            lambda_graphoids: Dict[int, Graphoid] = {}
+            gamma_graphoids: Dict[int, Graphoid] = {}
+            for outcome in backend.map_jobs(_extract_cluster_graphoids, graphoid_jobs):
+                cluster, lam, gam = outcome.unwrap()
+                lambda_graphoids[cluster] = lam
+                gamma_graphoids[cluster] = gam
 
         self.result_ = KGraphResult(
             labels=labels,

@@ -43,3 +43,12 @@ class BenchmarkError(ReproError, RuntimeError):
 
 class VisualizationError(ReproError, RuntimeError):
     """Raised when a frame or dashboard cannot be rendered."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """Raised when a parallel job fails and its original exception is lost.
+
+    Backends keep the worker's exception object whenever it survives the
+    trip back (always for serial/thread execution); this error is the
+    fallback wrapper when only the formatted message is available.
+    """

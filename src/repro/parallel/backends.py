@@ -1,0 +1,415 @@
+"""Execution backends: serial, thread-pool and process-pool job mapping.
+
+The whole library fans work out through one tiny contract —
+:meth:`ExecutionBackend.map_jobs` — so every fan-out site (per-length graph
+embedding, benchmark campaigns, graphoid extraction, ...) is parallelised the
+same way and new backends only have to implement one method.
+
+Design rules every backend must follow:
+
+* **Ordered results.** ``map_jobs(fn, jobs)`` returns one
+  :class:`JobOutcome` per job, in the order the jobs were submitted,
+  regardless of completion order.
+* **Per-job error capture.** A raising job never takes down its siblings:
+  the exception is captured on the outcome (``error`` / ``exception``) and
+  the caller decides whether to re-raise (:meth:`JobOutcome.unwrap`) or to
+  degrade gracefully (the benchmark runner records the error on the result).
+* **Determinism is the caller's job.** Backends never draw randomness; any
+  stochastic job must receive its own pre-spawned seed/generator so results
+  are bit-identical across backends (see :func:`repro.utils.rng.spawn_rng`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback as traceback_module
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ParallelExecutionError, ValidationError
+
+OnResult = Optional[Callable[["JobOutcome"], None]]
+
+
+@dataclass
+class JobOutcome:
+    """The result (or captured failure) of one submitted job.
+
+    Attributes
+    ----------
+    index:
+        Position of the job in the submitted sequence; ``map_jobs`` returns
+        outcomes sorted by this index.
+    value:
+        The job function's return value (``None`` when the job failed).
+    error:
+        ``"ExcType: message"`` when the job raised, else ``None``.
+    exception:
+        The captured exception object, when one is available in this
+        process (always for serial/thread, usually for process backends).
+    traceback:
+        Formatted traceback of the failure, for diagnostics.
+    duration_seconds:
+        Wall-clock seconds the job spent executing in its worker.
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    exception: Optional[BaseException] = field(default=None, repr=False)
+    traceback: Optional[str] = field(default=None, repr=False)
+    duration_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job completed without raising."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """Return ``value``, re-raising the captured exception on failure."""
+        if self.error is None:
+            return self.value
+        if self.exception is not None:
+            raise self.exception
+        raise ParallelExecutionError(f"job {self.index} failed: {self.error}")
+
+
+def _execute_one(fn: Callable[[Any], Any], index: int, job: Any) -> JobOutcome:
+    """Run one job, capturing any exception into the outcome."""
+    start = time.perf_counter()
+    try:
+        value = fn(job)
+    except Exception as exc:  # noqa: BLE001 - per-job isolation is the contract
+        # KeyboardInterrupt/SystemExit intentionally propagate: aborting the
+        # whole fan-out must stay possible from the keyboard.
+        return JobOutcome(
+            index=index,
+            error=f"{type(exc).__name__}: {exc}",
+            exception=exc,
+            traceback=traceback_module.format_exc(),
+            duration_seconds=time.perf_counter() - start,
+        )
+    return JobOutcome(
+        index=index, value=value, duration_seconds=time.perf_counter() - start
+    )
+
+
+def _execute_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]
+) -> List[JobOutcome]:
+    """Run a chunk of (index, job) pairs serially inside one worker."""
+    return [_execute_one(fn, index, job) for index, job in chunk]
+
+
+class ExecutionBackend(ABC):
+    """Maps a function over jobs, with ordered results and error capture."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_jobs(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        on_result: OnResult = None,
+    ) -> List[JobOutcome]:
+        """Apply ``fn`` to every job and return ordered :class:`JobOutcome`\\ s.
+
+        ``on_result`` is invoked once per outcome as soon as it is available:
+        in submission order for :class:`SerialBackend`, in completion order
+        for the parallel backends (callers needing strict streaming order
+        should iterate the returned list instead).  Implementations MUST
+        invoke ``on_result`` from the thread that called ``map_jobs`` —
+        callers rely on this to keep their callbacks single-threaded.
+        """
+
+    def close(self) -> None:
+        """Release any pooled workers (no-op for stateless backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    @staticmethod
+    def _collect(outcomes: List[Optional[JobOutcome]]) -> List[JobOutcome]:
+        """Validate that every submitted job produced exactly one outcome.
+
+        A lost job would silently desynchronise callers that group results
+        positionally, so it fails loudly here instead.
+        """
+        missing = [index for index, outcome in enumerate(outcomes) if outcome is None]
+        if missing:
+            raise ParallelExecutionError(
+                f"backend lost the outcomes of jobs {missing}; every job must "
+                "produce exactly one JobOutcome"
+            )
+        return outcomes  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Executes jobs one after another in the calling thread.
+
+    This is the default everywhere: it adds no overhead, keeps tracebacks
+    trivial, and — because jobs carry their own seeds — produces exactly the
+    same results as the parallel backends.
+    """
+
+    name = "serial"
+
+    def map_jobs(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        on_result: OnResult = None,
+    ) -> List[JobOutcome]:
+        outcomes: List[JobOutcome] = []
+        for index, job in enumerate(jobs):
+            outcome = _execute_one(fn, index, job)
+            if on_result is not None:
+                on_result(outcome)
+            outcomes.append(outcome)
+        return outcomes
+
+
+class ThreadBackend(ExecutionBackend):
+    """Executes jobs on a thread pool.
+
+    Best for NumPy-heavy jobs (the BLAS/linalg kernels release the GIL) and
+    for anything I/O-bound; jobs and results never cross a process boundary,
+    so nothing needs to be picklable.
+    """
+
+    name = "thread"
+
+    def __init__(self, n_workers: Optional[int] = None) -> None:
+        if n_workers is not None and int(n_workers) < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = None if n_workers is None else int(n_workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _executor(self) -> ThreadPoolExecutor:
+        # The pool is created lazily and reused across map_jobs calls, so a
+        # pipeline with several fan-outs (per-length fit, length scoring,
+        # graphoid extraction) pays the startup cost once.  max_workers is an
+        # upper bound: the executor starts threads on demand, so small
+        # fan-outs never hold idle workers.
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers or os.cpu_count() or 1
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map_jobs(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        on_result: OnResult = None,
+    ) -> List[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        pool = self._executor()
+        futures = {
+            pool.submit(_execute_one, fn, index, job): index
+            for index, job in enumerate(jobs)
+        }
+        for future in as_completed(futures):
+            outcome = future.result()
+            outcomes[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+        return self._collect(outcomes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadBackend(n_workers={self.n_workers})"
+
+
+class ProcessBackend(ExecutionBackend):
+    """Executes jobs on a process pool.
+
+    Sidesteps the GIL entirely, at the cost of pickling: the job function
+    must be a module-level callable and jobs/results must be picklable.
+    ``chunk_size`` groups several jobs per worker task to amortise IPC
+    overhead when jobs are small.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, n_workers: Optional[int] = None, *, chunk_size: int = 1
+    ) -> None:
+        if n_workers is not None and int(n_workers) < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if int(chunk_size) < 1:
+            raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.n_workers = None if n_workers is None else int(n_workers)
+        self.chunk_size = int(chunk_size)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _executor(self) -> ProcessPoolExecutor:
+        # Lazily created and reused across map_jobs calls: one pool startup
+        # per backend instance, not per fan-out.  max_workers is an upper
+        # bound — worker processes are forked/spawned on demand as jobs are
+        # submitted, so small fan-outs never pay for idle workers; workers
+        # snapshot the parent process at creation (fork) or re-import it
+        # (spawn).
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers or os.cpu_count() or 1
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def map_jobs(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        on_result: OnResult = None,
+    ) -> List[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        indexed = list(enumerate(jobs))
+        chunks = [
+            indexed[start : start + self.chunk_size]
+            for start in range(0, len(indexed), self.chunk_size)
+        ]
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        pool = self._executor()
+        pool_broken = False
+        try:
+            futures = {
+                pool.submit(_execute_chunk, fn, chunk): chunk for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    chunk_outcomes = future.result()
+                except Exception as exc:  # noqa: BLE001 - pickling/worker loss
+                    if isinstance(exc, BrokenProcessPool):
+                        pool_broken = True
+                    # The whole chunk failed before the per-job wrapper could
+                    # run (unpicklable payload, killed worker, ...): record the
+                    # failure on every job of the chunk instead of crashing.
+                    chunk_outcomes = [
+                        JobOutcome(
+                            index=index,
+                            error=f"{type(exc).__name__}: {exc}",
+                            exception=exc,
+                            traceback=traceback_module.format_exc(),
+                        )
+                        for index, _ in chunk
+                    ]
+                for outcome in chunk_outcomes:
+                    outcomes[outcome.index] = outcome
+                    if on_result is not None:
+                        on_result(outcome)
+        except BrokenProcessPool:
+            # A dead pool cannot be reused; drop it so the next call starts
+            # fresh, then surface the failure to the caller.
+            self.close()
+            raise
+        if pool_broken:
+            # Errors were captured per job, but the pool itself is dead —
+            # discard it so the next map_jobs call starts a fresh one.
+            self.close()
+        return self._collect(outcomes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessBackend(n_workers={self.n_workers}, chunk_size={self.chunk_size})"
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "threads": ThreadBackend,
+    "process": ProcessBackend,
+    "processes": ProcessBackend,
+}
+
+
+def resolve_backend(
+    backend: Union[None, str, ExecutionBackend] = None,
+    n_jobs: Optional[int] = None,
+) -> ExecutionBackend:
+    """Normalise the ``backend=`` / ``n_jobs=`` pair every API accepts.
+
+    * an :class:`ExecutionBackend` instance is returned unchanged —
+      combining one with ``n_jobs`` is rejected, since the instance already
+      fixed its own worker count;
+    * ``"serial"`` / ``"thread"`` / ``"process"`` name a backend class
+      (``n_jobs`` sets its worker count; ``"serial"`` ignores it);
+    * ``backend=None`` with ``n_jobs`` > 1 selects :class:`ThreadBackend`;
+    * everything else (the default) is :class:`SerialBackend`.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if n_jobs is not None:
+            raise ValidationError(
+                "n_jobs cannot be combined with an ExecutionBackend instance; "
+                "configure the worker count on the instance instead"
+            )
+        return backend
+    if n_jobs is not None and int(n_jobs) < 1:
+        raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
+    if backend is None:
+        if n_jobs is not None and int(n_jobs) > 1:
+            return ThreadBackend(int(n_jobs))
+        return SerialBackend()
+    if isinstance(backend, str):
+        key = backend.strip().lower()
+        if key not in _BACKENDS:
+            raise ValidationError(
+                f"unknown backend {backend!r}; available: {sorted(set(_BACKENDS))}"
+            )
+        cls = _BACKENDS[key]
+        if cls is SerialBackend:
+            return SerialBackend()
+        return cls(n_jobs)
+    raise ValidationError(
+        f"backend must be None, a name, or an ExecutionBackend, got {type(backend).__name__}"
+    )
+
+
+@contextmanager
+def backend_scope(
+    backend: Union[None, str, ExecutionBackend] = None,
+    n_jobs: Optional[int] = None,
+):
+    """Resolve a backend for the duration of one pipeline run.
+
+    Backends created here (from ``None`` or a name) hold pooled workers that
+    are released on exit; a caller-supplied :class:`ExecutionBackend`
+    instance is passed through untouched and stays open, since its lifetime
+    belongs to the caller.
+    """
+    resolved = resolve_backend(backend, n_jobs)
+    owned = resolved is not backend
+    try:
+        yield resolved
+    finally:
+        if owned:
+            resolved.close()

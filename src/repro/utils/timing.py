@@ -54,6 +54,39 @@ class Stopwatch:
             self._totals[name] += elapsed
             self._counts[name] += 1
 
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Accumulate an externally measured duration under ``name``.
+
+        This is how worker-local timings re-enter the parent's stopwatch:
+        parallel pipeline stages time themselves in their own process/thread
+        and the parent merges the resulting totals.
+        """
+        if seconds < 0:
+            raise ValueError(f"duration must be non-negative, got {seconds}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if name not in self._totals:
+            self._totals[name] = 0.0
+            self._counts[name] = 0
+            self._order.append(name)
+        self._totals[name] += float(seconds)
+        self._counts[name] += int(count)
+
+    def merge(
+        self, totals: "Stopwatch | Dict[str, float]", counts: Dict[str, int] | None = None
+    ) -> None:
+        """Merge another stopwatch (or a totals mapping) into this one.
+
+        Sections are accumulated, so merging the per-worker stopwatches of a
+        parallel fan-out yields the summed busy time per section — the same
+        totals a serial run reports, rather than wall-clock time.
+        """
+        if isinstance(totals, Stopwatch):
+            counts = totals.counts()
+            totals = totals.totals()
+        for name, seconds in totals.items():
+            self.add(name, seconds, (counts or {}).get(name, 1))
+
     def totals(self) -> Dict[str, float]:
         """Total elapsed seconds per section, in first-seen order."""
         return {name: self._totals[name] for name in self._order}

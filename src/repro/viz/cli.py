@@ -27,6 +27,21 @@ from repro.viz.dashboard import build_dashboard
 from repro.viz.session import GraphintSession
 
 
+def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="execution backend for the parallel pipeline stages (default: serial)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count; results are identical to the serial run for a fixed seed",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="graphint",
@@ -41,12 +56,14 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--clusters", type=int, default=None)
     cluster.add_argument("--lengths", type=int, default=4, help="number of subsequence lengths")
     cluster.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(cluster)
 
     dashboard = subparsers.add_parser("dashboard", help="build the static HTML dashboard")
     dashboard.add_argument("--dataset", default="cylinder_bell_funnel")
     dashboard.add_argument("--output", "-o", default="graphint_dashboard.html")
     dashboard.add_argument("--benchmark-file", default=None, help="JSON results to feed the Benchmark frame")
     dashboard.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(dashboard)
 
     benchmark = subparsers.add_parser("benchmark", help="run the benchmark campaign")
     benchmark.add_argument("--output", "-o", default="benchmark_results.json")
@@ -54,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
     benchmark.add_argument("--datasets", nargs="*", default=None)
     benchmark.add_argument("--runs", type=int, default=1)
     benchmark.add_argument("--seed", type=int, default=0)
+    _add_parallel_arguments(benchmark)
 
     serve = subparsers.add_parser("serve", help="start the interactive dashboard server")
     serve.add_argument("--host", default="127.0.0.1")
@@ -89,6 +107,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         n_clusters=args.clusters,
         n_lengths=args.lengths,
         random_state=args.seed,
+        backend=args.backend,
+        n_jobs=args.jobs,
     ).fit()
     summary = session.summary()
     print(f"dataset            : {dataset.name} ({dataset.n_series} x {dataset.length})")
@@ -101,7 +121,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
-    session = GraphintSession(dataset, random_state=args.seed)
+    session = GraphintSession(
+        dataset, random_state=args.seed, backend=args.backend, n_jobs=args.jobs
+    )
     benchmark_results = load_results(args.benchmark_file) if args.benchmark_file else None
     build_dashboard(session, benchmark_results=benchmark_results, output_path=args.output)
     print(f"dashboard written to {Path(args.output).resolve()}")
@@ -109,7 +131,13 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 
 
 def _cmd_benchmark(args: argparse.Namespace) -> int:
-    runner = BenchmarkRunner(args.methods, n_runs=args.runs, random_state=args.seed)
+    runner = BenchmarkRunner(
+        args.methods,
+        n_runs=args.runs,
+        random_state=args.seed,
+        backend=args.backend,
+        n_jobs=args.jobs,
+    )
 
     def progress(method: str, dataset: str, result) -> None:
         status = "FAILED" if result.failed else f"ari={result.measures.get('ari', float('nan')):.3f}"

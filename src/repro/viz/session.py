@@ -11,7 +11,7 @@ selected node, measure) without recomputation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.interpret.representations import (
     graphoid_representation,
 )
 from repro.interpret.user_model import score_methods
+from repro.parallel import ExecutionBackend
 from repro.utils.containers import TimeSeriesDataset
 from repro.utils.normalization import znormalize_dataset
 from repro.utils.rng import SeedSequencePool
@@ -45,12 +46,19 @@ class GraphintSession:
         Number of subsequence lengths for the k-Graph grid.
     random_state:
         Seed controlling every stochastic step of the session.
+    backend, n_jobs:
+        Execution backend forwarded to :class:`~repro.core.kgraph.KGraph`
+        so the dashboard's k-Graph fit can use the parallel pipeline stages
+        (see :mod:`repro.parallel`).  Serial by default; results are
+        identical across backends for a fixed seed.
     """
 
     dataset: TimeSeriesDataset
     n_clusters: Optional[int] = None
     n_lengths: int = 4
     random_state: Optional[int] = None
+    backend: Union[None, str, ExecutionBackend] = None
+    n_jobs: Optional[int] = None
 
     kgraph: KGraph = field(init=False)
     method_labels: Dict[str, np.ndarray] = field(init=False, default_factory=dict)
@@ -78,6 +86,8 @@ class GraphintSession:
             n_clusters=self.n_clusters,
             n_lengths=self.n_lengths,
             random_state=self._pool.next_seed(),
+            backend=self.backend,
+            n_jobs=self.n_jobs,
         )
         self.method_labels["kgraph"] = self.kgraph.fit_predict(data)
 
