@@ -38,9 +38,33 @@ from repro.metrics.clustering import (
 )
 from repro.utils.containers import TimeSeriesDataset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Serving API re-exported lazily (PEP 562) — repro.serve sits on top of the
+#: whole library, so importing it eagerly here would be circular.
+_SERVE_EXPORTS = {
+    "save_model",
+    "load_model",
+    "ModelRegistry",
+    "InferenceEngine",
+    "ServeApplication",
+}
+
+
+def __getattr__(name):
+    if name in _SERVE_EXPORTS:
+        from repro import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "InferenceEngine",
+    "ModelRegistry",
+    "ServeApplication",
+    "load_model",
+    "save_model",
     "ExecutionBackend",
     "KGraph",
     "KGraphResult",

@@ -2,6 +2,13 @@
 
 The Benchmark frame reads a pre-computed result file when available so the
 GUI loads instantly; the benchmark harness writes these files.
+
+JSON payloads are wrapped in a versioned envelope —
+``{"format": ..., "schema_version": ..., "results": [...]}`` — guarded by
+the same :func:`repro.utils.schema.check_schema_version` check the model
+artifact format uses, so files written by newer releases fail with an
+"upgrade the library" message.  Bare-list files written before versioning
+are still accepted.
 """
 
 from __future__ import annotations
@@ -12,7 +19,11 @@ from pathlib import Path
 from typing import List, Sequence, Union
 
 from repro.benchmark.runner import BenchmarkResult
-from repro.exceptions import BenchmarkError
+from repro.exceptions import BenchmarkError, ValidationError
+from repro.utils.schema import check_schema_version, schema_envelope
+
+STORE_FORMAT = "benchmark-results"
+STORE_SCHEMA_VERSION = 1
 
 
 def save_results(
@@ -25,8 +36,10 @@ def save_results(
     path.parent.mkdir(parents=True, exist_ok=True)
     rows = [result.to_dict() for result in results]
     if fmt == "json":
+        payload = schema_envelope(STORE_SCHEMA_VERSION, STORE_FORMAT)
+        payload["results"] = rows
         with path.open("w", encoding="utf-8") as handle:
-            json.dump(rows, handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
     elif fmt == "csv":
         fieldnames = sorted({key for row in rows for key in row})
         with path.open("w", encoding="utf-8", newline="") as handle:
@@ -44,7 +57,32 @@ def load_results(path: Union[str, Path]) -> List[BenchmarkResult]:
     if not path.exists():
         raise BenchmarkError(f"result file not found: {path}")
     with path.open("r", encoding="utf-8") as handle:
-        rows = json.load(handle)
-    if not isinstance(rows, list):
-        raise BenchmarkError("result file must contain a JSON list")
+        payload = json.load(handle)
+    if isinstance(payload, dict):
+        found_format = payload.get("format")
+        if found_format is not None and found_format != STORE_FORMAT:
+            raise BenchmarkError(
+                f"{path} holds format {found_format!r}, expected {STORE_FORMAT!r}"
+            )
+        try:
+            check_schema_version(
+                payload.get("schema_version"),
+                supported=STORE_SCHEMA_VERSION,
+                context=f"benchmark result file {path}",
+            )
+        except ValidationError as exc:
+            # The store's error contract is BenchmarkError throughout.
+            raise BenchmarkError(str(exc)) from exc
+        rows = payload.get("results")
+        if not isinstance(rows, list):
+            raise BenchmarkError(
+                f"benchmark result file {path} has no 'results' list"
+            )
+    elif isinstance(payload, list):
+        # Legacy pre-versioning layout: a bare list of result rows.
+        rows = payload
+    else:
+        raise BenchmarkError(
+            "result file must contain a JSON list or a versioned envelope"
+        )
     return [BenchmarkResult.from_dict(row) for row in rows]

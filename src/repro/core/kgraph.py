@@ -41,6 +41,7 @@ from repro.graph.graphoid import (
 )
 from repro.graph.structure import TimeSeriesGraph
 from repro.parallel import ExecutionBackend, backend_scope
+from repro.utils.normalization import znormalize_dataset
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
@@ -49,7 +50,7 @@ from repro.utils.validation import (
     check_random_state,
     check_time_series_dataset,
 )
-from repro.utils.windows import length_grid
+from repro.utils.windows import length_grid, sliding_window_matrix
 
 
 @dataclass
@@ -186,6 +187,75 @@ def _fit_one_length(job: _LengthFitJob) -> _LengthFit:
         timings=watch.totals(),
         counts=watch.counts(),
     )
+
+
+@dataclass(frozen=True)
+class PredictionState:
+    """Everything ``predict`` needs, extracted from a fitted model once.
+
+    The state is a plain bundle of NumPy arrays (hence picklable), so the
+    serving layer can prepare it once per model and dispatch prediction
+    micro-batches through any :class:`~repro.parallel.ExecutionBackend`
+    without re-deriving patterns and centroids per request — that
+    per-request preparation dominates the cost of a naive single-series
+    ``predict`` call.
+
+    Attributes
+    ----------
+    length:
+        Selected subsequence length ¯ℓ of the graph predictions run on.
+    stride:
+        Subsequence extraction stride of the fitted model.
+    patterns:
+        (n_nodes, ¯ℓ) matrix of node patterns in node-sorted order.
+    patterns_sq:
+        Per-row squared norms of ``patterns`` (pre-computed for the
+        distance evaluation).
+    centroids:
+        (n_clusters, n_nodes) mean training node-visit profile per cluster.
+    clusters:
+        Cluster identifiers aligned with the ``centroids`` rows.
+    """
+
+    length: int
+    stride: int
+    patterns: np.ndarray
+    patterns_sq: np.ndarray
+    centroids: np.ndarray
+    clusters: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes of the selected graph."""
+        return int(self.patterns.shape[0])
+
+
+def predict_with_state(state: PredictionState, array: np.ndarray) -> np.ndarray:
+    """Assign already-validated series to clusters using a prepared state.
+
+    Module-level (hence picklable) so serving micro-batches can be
+    dispatched through process backends too.  Each series is processed
+    independently — the result for a series never depends on which batch it
+    travelled in, keeping online predictions bit-identical to offline
+    ``KGraph.predict`` calls.
+    """
+    predictions = np.empty(array.shape[0], dtype=int)
+    for index, series in enumerate(array):
+        windows = sliding_window_matrix(series, state.length, state.stride)
+        windows = znormalize_dataset(windows)
+        distances = (
+            np.sum(windows**2, axis=1)[:, None]
+            - 2.0 * windows @ state.patterns.T
+            + state.patterns_sq[None, :]
+        )
+        assignments = np.argmin(distances, axis=1)
+        profile = np.bincount(assignments, minlength=state.n_nodes).astype(float)
+        total = profile.sum()
+        if total > 0:
+            profile /= total
+        nearest = int(np.argmin(np.linalg.norm(state.centroids - profile, axis=1)))
+        predictions[index] = int(state.clusters[nearest])
+    return predictions
 
 
 @dataclass(frozen=True)
@@ -391,6 +461,57 @@ class KGraph:
         """Fit the pipeline and return the final labels."""
         return self.fit(data).labels_
 
+    def prediction_state(self) -> PredictionState:
+        """Extract the prepared :class:`PredictionState` of the fitted model.
+
+        ``predict`` derives this on every call; long-lived servers (see
+        :mod:`repro.serve`) extract it once per model and reuse it across
+        requests, which amortises the pattern/centroid preparation that
+        otherwise dominates single-series prediction latency.
+        """
+        self._check_fitted()
+        graph = self.result_.optimal_graph
+        labels = self.result_.labels
+        nodes = graph.nodes()
+        patterns = np.vstack([
+            # Node patterns are stored as mean z-normalised subsequences.
+            graph.node_pattern(node) for node in nodes
+        ])
+        training_profiles = graph.node_feature_matrix(normalize=True)
+        clusters = np.unique(labels)
+        centroids = np.vstack([
+            training_profiles[labels == cluster].mean(axis=0) for cluster in clusters
+        ])
+        return PredictionState(
+            length=graph.length,
+            stride=self.stride,
+            patterns=patterns,
+            patterns_sq=np.sum(patterns**2, axis=1),
+            centroids=centroids,
+            clusters=clusters,
+        )
+
+    def validate_predict_input(self, data) -> np.ndarray:
+        """Validate ``data`` for ``predict`` and return it as a 2-D array.
+
+        Raises a :class:`~repro.exceptions.ValidationError` with an
+        actionable message for every malformed input (wrong dimensionality,
+        non-numeric values, NaNs, series too short for the selected
+        subsequence length) instead of letting the failure surface deep in
+        the windowing code.
+        """
+        self._check_fitted()
+        array = check_time_series_dataset(data, name="predict input", min_series=1)
+        length = self.result_.optimal_graph.length
+        if array.shape[1] <= length:
+            raise ValidationError(
+                f"predict input series have length {array.shape[1]} but the fitted "
+                f"model selected subsequence length {length}; series must be "
+                f"longer than {length} to contain at least one strict subsequence "
+                f"(pass series with length >= {length + 1})"
+            )
+        return array
+
     def predict(self, data) -> np.ndarray:
         """Assign new series to the fitted clusters (out-of-sample).
 
@@ -404,53 +525,16 @@ class KGraph:
         the displayed graph, and gives k-Graph a standard estimator-style
         ``predict`` without refitting.
         """
-        self._check_fitted()
-        array = check_time_series_dataset(data, min_series=1)
-        graph = self.result_.optimal_graph
-        labels = self.result_.labels
-        length = graph.length
-        if array.shape[1] <= length:
-            raise ValidationError(
-                f"series of length {array.shape[1]} are too short for the selected "
-                f"subsequence length {length}"
-            )
-
-        nodes = graph.nodes()
-        patterns = np.vstack([
-            # Node patterns are stored as mean z-normalised subsequences.
-            graph.node_pattern(node) for node in nodes
-        ])
-        training_profiles = graph.node_feature_matrix(normalize=True)
-        clusters = np.unique(labels)
-        centroids = np.vstack([
-            training_profiles[labels == cluster].mean(axis=0) for cluster in clusters
-        ])
-
-        from repro.utils.normalization import znormalize_dataset
-        from repro.utils.windows import sliding_window_matrix
-
-        predictions = np.empty(array.shape[0], dtype=int)
-        for index, series in enumerate(array):
-            windows = sliding_window_matrix(series, length, self.stride)
-            windows = znormalize_dataset(windows)
-            distances = (
-                np.sum(windows**2, axis=1)[:, None]
-                - 2.0 * windows @ patterns.T
-                + np.sum(patterns**2, axis=1)[None, :]
-            )
-            assignments = np.argmin(distances, axis=1)
-            profile = np.bincount(assignments, minlength=len(nodes)).astype(float)
-            total = profile.sum()
-            if total > 0:
-                profile /= total
-            nearest = int(np.argmin(np.linalg.norm(centroids - profile, axis=1)))
-            predictions[index] = int(clusters[nearest])
-        return predictions
+        array = self.validate_predict_input(data)
+        return predict_with_state(self.prediction_state(), array)
 
     # ------------------------------------------------------------------ #
     def _check_fitted(self) -> None:
         if self.result_ is None:
-            raise NotFittedError("KGraph instance is not fitted yet; call fit() first")
+            raise NotFittedError(
+                "this KGraph instance is not fitted yet; call fit(data) first, "
+                "or load a previously fitted model with repro.serve.load_model()"
+            )
 
     @property
     def optimal_length_(self) -> int:

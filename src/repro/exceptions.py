@@ -52,3 +52,32 @@ class ParallelExecutionError(ReproError, RuntimeError):
     trip back (always for serial/thread execution); this error is the
     fallback wrapper when only the formatted message is available.
     """
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """Raised when a model artifact cannot be saved, loaded, or validated.
+
+    Covers both on-disk format problems (missing files, corrupted payloads,
+    unsupported schema versions) and registry-level failures (unknown
+    dataset/model identifiers, publishing conflicts).
+    """
+
+
+class ModelNotFoundError(ArtifactError):
+    """Raised when a requested (dataset, model) pair is not in a registry.
+
+    A subclass of :class:`ArtifactError` so existing handlers keep working,
+    but distinct so the HTTP layer can answer 404 for a genuinely absent
+    model while reporting a *corrupt* stored artifact as a server-side 500.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """Raised when the online inference service cannot fulfil a request.
+
+    Used for serving-side failures that are not the caller's fault —
+    a closed engine, a dispatch timeout, a worker that died mid-batch.
+    Client-side problems (malformed series, unknown models) surface as
+    :class:`ValidationError` / :class:`ArtifactError` instead, so the HTTP
+    layer can map them to 4xx responses.
+    """

@@ -235,3 +235,86 @@ class TimeSeriesGraph:
             "max_node_weight": int(max(weights)) if weights else 0,
             "mean_node_weight": float(np.mean(weights)) if weights else 0.0,
         }
+
+    # ------------------------------------------------------------------ #
+    # lossless serialisation (model artifacts, see repro.serve.artifacts)
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> Dict[str, object]:
+        """The structural (non-array) part of the graph as a JSON payload.
+
+        Node patterns are excluded — they are float matrices and travel in
+        the artifact's ``.npz`` file instead, stacked in node-sorted order
+        (the same order the ``nodes`` list uses here).  The inverse is
+        :meth:`from_payload`.
+        """
+        return {
+            "length": int(self.length),
+            "n_series": int(self.n_series),
+            "nodes": [
+                {
+                    "id": int(node_id),
+                    "position": [float(info.position[0]), float(info.position[1])],
+                    "n_subsequences": int(info.n_subsequences),
+                }
+                for node_id, info in sorted(self._nodes.items())
+            ],
+            "edges": [
+                [int(source), int(target), int(weight)]
+                for (source, target), weight in sorted(self._edges.items())
+            ],
+            "node_series": {
+                str(node_id): {str(series): int(count) for series, count in counts.items()}
+                for node_id, counts in self._node_series.items()
+            },
+            "edge_series": [
+                [
+                    int(source),
+                    int(target),
+                    {str(series): int(count) for series, count in counts.items()},
+                ]
+                for (source, target), counts in sorted(self._edge_series.items())
+            ],
+            "trajectories": {
+                str(series): [int(node) for node in trajectory]
+                for series, trajectory in self._trajectories.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, object], patterns: np.ndarray
+    ) -> "TimeSeriesGraph":
+        """Rebuild a graph from :meth:`to_payload` output + its pattern matrix.
+
+        ``patterns`` rows must be in node-sorted order, matching the
+        ``nodes`` list of the payload.
+        """
+        node_rows = payload["nodes"]
+        if patterns.shape[0] != len(node_rows):
+            raise ValidationError(
+                f"graph for length {payload['length']} declares {len(node_rows)} "
+                f"nodes but the pattern matrix has {patterns.shape[0]} rows"
+            )
+        graph = cls(length=int(payload["length"]), n_series=int(payload["n_series"]))
+        for row, entry in enumerate(node_rows):
+            node_id = int(entry["id"])
+            graph._nodes[node_id] = NodeInfo(
+                node_id=node_id,
+                position=(float(entry["position"][0]), float(entry["position"][1])),
+                pattern=np.ascontiguousarray(patterns[row], dtype=float),
+                n_subsequences=int(entry["n_subsequences"]),
+            )
+            graph._node_series[node_id] = {}
+        for source, target, weight in payload["edges"]:
+            graph._edges[(int(source), int(target))] = int(weight)
+        for node_key, counts in payload["node_series"].items():
+            graph._node_series[int(node_key)] = {
+                int(series): int(count) for series, count in counts.items()
+            }
+        for source, target, counts in payload["edge_series"]:
+            graph._edge_series[(int(source), int(target))] = {
+                int(series): int(count) for series, count in counts.items()
+            }
+        for series_key, trajectory in payload["trajectories"].items():
+            graph._trajectories[int(series_key)] = [int(node) for node in trajectory]
+        return graph

@@ -22,6 +22,7 @@ Design rules every backend must follow:
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback as traceback_module
 from abc import ABC, abstractmethod
@@ -198,23 +199,28 @@ class ThreadBackend(ExecutionBackend):
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = None if n_workers is None else int(n_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     def _executor(self) -> ThreadPoolExecutor:
         # The pool is created lazily and reused across map_jobs calls, so a
         # pipeline with several fan-outs (per-length fit, length scoring,
         # graphoid extraction) pays the startup cost once.  max_workers is an
         # upper bound: the executor starts threads on demand, so small
-        # fan-outs never hold idle workers.
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.n_workers or os.cpu_count() or 1
-            )
-        return self._pool
+        # fan-outs never hold idle workers.  Creation is locked because a
+        # shared backend instance may be driven from several threads (e.g.
+        # the per-model inference engines of repro.serve).
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.n_workers or os.cpu_count() or 1
+                )
+            return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def map_jobs(
         self,
@@ -264,6 +270,7 @@ class ProcessBackend(ExecutionBackend):
         self.n_workers = None if n_workers is None else int(n_workers)
         self.chunk_size = int(chunk_size)
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     def _executor(self) -> ProcessPoolExecutor:
         # Lazily created and reused across map_jobs calls: one pool startup
@@ -271,17 +278,20 @@ class ProcessBackend(ExecutionBackend):
         # bound — worker processes are forked/spawned on demand as jobs are
         # submitted, so small fan-outs never pay for idle workers; workers
         # snapshot the parent process at creation (fork) or re-import it
-        # (spawn).
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.n_workers or os.cpu_count() or 1
-            )
-        return self._pool
+        # (spawn).  Creation is locked for multi-threaded callers (see
+        # ThreadBackend._executor).
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers or os.cpu_count() or 1
+                )
+            return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def map_jobs(
         self,

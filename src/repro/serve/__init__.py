@@ -1,0 +1,46 @@
+"""Model serving: artifacts, registry, micro-batching engine, HTTP API.
+
+The fit side of k-Graph is expensive; the predict side is cheap.  This
+package turns fitted :class:`~repro.core.kgraph.KGraph` models into
+first-class servable artifacts:
+
+* :func:`save_model` / :func:`load_model` — versioned, pickle-free on-disk
+  artifacts with bit-exact ``predict`` round-trips
+  (:mod:`repro.serve.artifacts`);
+* :class:`ModelRegistry` — a disk store with sequential versioning per
+  dataset and an in-memory LRU cache (:mod:`repro.serve.registry`);
+* :class:`InferenceEngine` — coalesces concurrent single-series predict
+  requests into micro-batches dispatched through any
+  :class:`~repro.parallel.ExecutionBackend` (:mod:`repro.serve.engine`);
+* :class:`ServeApplication` / :func:`serve_models` — the JSON HTTP API
+  (``POST /predict``, ``GET /models``, ``GET /healthz``) built on the
+  dashboard server plumbing (:mod:`repro.serve.service`).
+
+CLI entry points: ``repro export-model``, ``repro import-model`` and
+``repro serve --registry DIR`` (see :mod:`repro.viz.cli`).
+"""
+
+from repro.serve.artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_SCHEMA_VERSION,
+    load_model,
+    read_manifest,
+    save_model,
+)
+from repro.serve.engine import InferenceEngine
+from repro.serve.registry import ModelRecord, ModelRegistry
+from repro.serve.service import CombinedApplication, ServeApplication, serve_models
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_SCHEMA_VERSION",
+    "CombinedApplication",
+    "InferenceEngine",
+    "ModelRecord",
+    "ModelRegistry",
+    "ServeApplication",
+    "load_model",
+    "read_manifest",
+    "save_model",
+    "serve_models",
+]

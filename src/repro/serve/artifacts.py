@@ -1,0 +1,381 @@
+"""Versioned on-disk artifacts for fitted :class:`~repro.core.kgraph.KGraph` models.
+
+An artifact is a directory with three files:
+
+* ``manifest.json`` — schema version, constructor parameters, fit metadata,
+  per-length scores/partition diagnostics, graphoids, timings, and free-form
+  user metadata.  Everything a registry needs to *describe* the model
+  without touching the heavy payloads.
+* ``arrays.npz``    — every numeric array (labels, consensus matrix, node
+  patterns, per-length partition labels and feature matrices), stored
+  losslessly so ``load_model(save_model(m)).predict(X)`` is bit-identical
+  to ``m.predict(X)``.
+* ``graphs.json``   — the structural part of every per-length
+  :class:`~repro.graph.structure.TimeSeriesGraph`: nodes with positions and
+  visit counts, weighted edges, per-node/per-edge series multisets, and the
+  node trajectory of every training series.
+
+The format deliberately avoids pickle: it is inspectable, diffable, safe to
+load from untrusted sources, and guarded by the shared schema-version check
+(:mod:`repro.utils.schema`) so files written by newer releases fail with an
+"upgrade the library" message instead of a parser crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro import __version__ as _library_version
+from repro.core.graph_clustering import GraphPartition
+from repro.core.interpretability import LengthScore
+from repro.core.kgraph import KGraph, KGraphResult
+from repro.exceptions import ArtifactError, NotFittedError, ValidationError
+from repro.graph.graphoid import Graphoid
+from repro.graph.structure import TimeSeriesGraph
+from repro.utils.schema import check_schema_version
+
+ARTIFACT_FORMAT = "kgraph-model"
+ARTIFACT_SCHEMA_VERSION = 1
+
+MANIFEST_FILE = "manifest.json"
+ARRAYS_FILE = "arrays.npz"
+GRAPHS_FILE = "graphs.json"
+
+
+# --------------------------------------------------------------------------- #
+# serialisation helpers
+# --------------------------------------------------------------------------- #
+def _graphoid_to_payload(graphoid: Graphoid) -> Dict[str, object]:
+    return {
+        "cluster": int(graphoid.cluster),
+        "kind": graphoid.kind,
+        "threshold": float(graphoid.threshold),
+        "nodes": [int(node) for node in graphoid.nodes],
+        "edges": [[int(source), int(target)] for source, target in graphoid.edges],
+        "node_scores": {
+            str(node): float(score) for node, score in graphoid.node_scores.items()
+        },
+        "edge_scores": [
+            [int(source), int(target), float(score)]
+            for (source, target), score in graphoid.edge_scores.items()
+        ],
+    }
+
+
+def _graphoid_from_payload(payload: Dict[str, object]) -> Graphoid:
+    return Graphoid(
+        cluster=int(payload["cluster"]),
+        nodes=[int(node) for node in payload["nodes"]],
+        edges=[(int(source), int(target)) for source, target in payload["edges"]],
+        node_scores={
+            int(node): float(score) for node, score in payload["node_scores"].items()
+        },
+        edge_scores={
+            (int(source), int(target)): float(score)
+            for source, target, score in payload["edge_scores"]
+        },
+        kind=str(payload["kind"]),
+        threshold=float(payload["threshold"]),
+    )
+
+
+def _model_params(model: KGraph) -> Dict[str, object]:
+    """Constructor parameters, with non-serialisable seeds nulled out."""
+    random_state = model.random_state
+    if not (random_state is None or isinstance(random_state, (int, np.integer))):
+        # A live Generator cannot be represented faithfully; the loaded model
+        # is only used for prediction, which draws no randomness.
+        random_state = None
+    return {
+        "n_clusters": int(model.n_clusters),
+        "n_lengths": int(model.n_lengths),
+        "lengths": list(model.lengths) if model.lengths is not None else None,
+        "stride": int(model.stride),
+        "n_sectors": int(model.n_sectors),
+        "feature_mode": model.feature_mode,
+        "lambda_threshold": float(model.lambda_threshold),
+        "gamma_threshold": float(model.gamma_threshold),
+        "random_state": None if random_state is None else int(random_state),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# public API
+# --------------------------------------------------------------------------- #
+def save_model(
+    model: KGraph,
+    path: Union[str, Path],
+    *,
+    dataset: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Persist a fitted model as a versioned artifact directory.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`KGraph`.
+    path:
+        Target directory (created if needed; existing artifact files are
+        overwritten, other existing content is rejected).
+    dataset:
+        Optional dataset name recorded in the manifest; registries use it to
+        shelve the artifact.
+    metadata:
+        Free-form JSON-serialisable annotations stored under
+        ``manifest["metadata"]``.
+    """
+    if model.result_ is None:
+        raise NotFittedError(
+            "cannot save an unfitted KGraph; call fit(data) before save_model()"
+        )
+    result = model.result_
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise ArtifactError(f"artifact path {path} exists and is not a directory")
+    if path.is_dir():
+        expected = {MANIFEST_FILE, MANIFEST_FILE + ".tmp", ARRAYS_FILE, GRAPHS_FILE}
+        stray = [p.name for p in path.iterdir() if p.name not in expected]
+        if stray:
+            raise ArtifactError(
+                f"refusing to write artifact into non-empty directory {path} "
+                f"(unexpected entries: {sorted(stray)[:5]})"
+            )
+    path.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {
+        "labels": result.labels,
+        "consensus_matrix": result.consensus_matrix,
+    }
+    graph_payloads: List[Dict[str, object]] = []
+    for length in sorted(result.graphs):
+        graph = result.graphs[length]
+        graph_payloads.append(graph.to_payload())
+        nodes = graph.nodes()
+        arrays[f"graph_{length}_patterns"] = (
+            np.vstack([graph.node_pattern(node) for node in nodes])
+            if nodes
+            else np.empty((0, length))
+        )
+    partition_rows: List[Dict[str, object]] = []
+    for partition in result.partitions:
+        arrays[f"partition_{partition.length}_labels"] = partition.labels
+        arrays[f"partition_{partition.length}_features"] = partition.feature_matrix
+        partition_rows.append(
+            {
+                "length": int(partition.length),
+                "inertia": float(partition.inertia),
+                "n_nodes": int(partition.n_nodes),
+                "n_edges": int(partition.n_edges),
+            }
+        )
+
+    manifest: Dict[str, object] = {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "library_version": _library_version,
+        "created_unix": time.time(),
+        "dataset": dataset,
+        "params": _model_params(model),
+        "fitted": {
+            "n_series": int(result.labels.shape[0]),
+            "n_clusters": int(result.n_clusters),
+            "optimal_length": int(result.optimal_length),
+            "lengths": [int(length) for length in sorted(result.graphs)],
+        },
+        "length_scores": [
+            {
+                "length": int(score.length),
+                "consistency": float(score.consistency),
+                "interpretability": float(score.interpretability),
+            }
+            for score in result.length_scores
+        ],
+        "partitions": partition_rows,
+        "graphoids": {
+            "lambda": [
+                _graphoid_to_payload(g) for _, g in sorted(result.lambda_graphoids.items())
+            ],
+            "gamma": [
+                _graphoid_to_payload(g) for _, g in sorted(result.gamma_graphoids.items())
+            ],
+        },
+        "timings": {name: float(value) for name, value in result.timings.items()},
+        "metadata": dict(metadata) if metadata else {},
+    }
+
+    # The manifest is written LAST, atomically (tmp + rename): it is the
+    # artifact's commit marker.  A crash mid-save leaves a directory without
+    # manifest.json, which the registry ignores, instead of a
+    # listed-but-unloadable (or half-written) model.  For the same reason an
+    # overwrite un-commits the old artifact first — a stale manifest must
+    # never describe half-replaced payloads.
+    manifest_path = path / MANIFEST_FILE
+    if manifest_path.exists():
+        manifest_path.unlink()
+    with (path / ARRAYS_FILE).open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    with (path / GRAPHS_FILE).open("w", encoding="utf-8") as handle:
+        json.dump({"graphs": graph_payloads}, handle, sort_keys=True)
+    manifest_tmp = path / (MANIFEST_FILE + ".tmp")
+    with manifest_tmp.open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    os.replace(manifest_tmp, manifest_path)
+    return path
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and validate the manifest of an artifact directory."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.exists():
+        raise ArtifactError(f"{path} is not a model artifact: missing {MANIFEST_FILE}")
+    try:
+        with manifest_path.open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"could not read manifest of {path}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise ArtifactError(f"manifest of {path} must be a JSON object")
+    if manifest.get("format") != ARTIFACT_FORMAT:
+        raise ArtifactError(
+            f"{path} holds format {manifest.get('format')!r}, expected "
+            f"{ARTIFACT_FORMAT!r}"
+        )
+    try:
+        check_schema_version(
+            manifest.get("schema_version"),
+            supported=ARTIFACT_SCHEMA_VERSION,
+            context=f"model artifact {path}",
+        )
+    except ValidationError as exc:
+        # The artifact layer's error contract is ArtifactError throughout.
+        raise ArtifactError(str(exc)) from exc
+    return manifest
+
+
+def load_model(path: Union[str, Path]) -> KGraph:
+    """Reconstruct a fitted :class:`KGraph` from an artifact directory.
+
+    The loaded estimator carries the full :class:`KGraphResult` (graphs,
+    partitions, consensus matrix, graphoids, scores), so every downstream
+    consumer — ``predict``, the Graphint frames, graphoid recomputation —
+    behaves exactly as it does on the in-memory original.
+    """
+    path = Path(path)
+    manifest = read_manifest(path)
+    for required in (ARRAYS_FILE, GRAPHS_FILE):
+        if not (path / required).exists():
+            raise ArtifactError(f"artifact {path} is incomplete: missing {required}")
+
+    try:
+        with np.load(path / ARRAYS_FILE) as payload:
+            arrays = {key: payload[key] for key in payload.files}
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"could not read arrays of {path}: {exc}") from exc
+    try:
+        with (path / GRAPHS_FILE).open("r", encoding="utf-8") as handle:
+            graph_payloads = json.load(handle)["graphs"]
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        raise ArtifactError(f"could not read graphs of {path}: {exc}") from exc
+
+    for required in ("params", "fitted", "partitions", "length_scores"):
+        if required not in manifest:
+            raise ArtifactError(
+                f"artifact {path} manifest is missing required field {required!r}"
+            )
+    for required in ("labels", "consensus_matrix"):
+        if required not in arrays:
+            raise ArtifactError(
+                f"artifact {path} arrays are missing entry {required!r}"
+            )
+    params = manifest["params"]
+    try:
+        model = KGraph(
+            params["n_clusters"],
+            n_lengths=params["n_lengths"],
+            lengths=params["lengths"],
+            stride=params["stride"],
+            n_sectors=params["n_sectors"],
+            feature_mode=params["feature_mode"],
+            lambda_threshold=params["lambda_threshold"],
+            gamma_threshold=params["gamma_threshold"],
+            random_state=params["random_state"],
+        )
+    except KeyError as exc:
+        raise ArtifactError(
+            f"artifact {path} manifest params are missing field {exc}"
+        ) from exc
+
+    graphs: Dict[int, TimeSeriesGraph] = {}
+    for payload in graph_payloads:
+        length = int(payload["length"])
+        key = f"graph_{length}_patterns"
+        if key not in arrays:
+            raise ArtifactError(f"artifact {path} misses pattern matrix {key!r}")
+        try:
+            graphs[length] = TimeSeriesGraph.from_payload(payload, arrays[key])
+        except ValidationError as exc:
+            raise ArtifactError(f"artifact {path} holds a corrupt graph: {exc}") from exc
+
+    # Nested-field corruption (a row or graphoid missing a key) must surface
+    # as ArtifactError, like every other failure mode of this module.
+    try:
+        partitions: List[GraphPartition] = []
+        for row in manifest["partitions"]:
+            length = int(row["length"])
+            labels_key = f"partition_{length}_labels"
+            features_key = f"partition_{length}_features"
+            if labels_key not in arrays or features_key not in arrays:
+                raise ArtifactError(
+                    f"artifact {path} misses partition payloads for length {length}"
+                )
+            partitions.append(
+                GraphPartition(
+                    length=length,
+                    labels=arrays[labels_key],
+                    feature_matrix=arrays[features_key],
+                    inertia=float(row["inertia"]),
+                    n_nodes=int(row["n_nodes"]),
+                    n_edges=int(row["n_edges"]),
+                )
+            )
+
+        graphoids = manifest.get("graphoids", {})
+        lambda_graphoids = {
+            int(p["cluster"]): _graphoid_from_payload(p) for p in graphoids.get("lambda", [])
+        }
+        gamma_graphoids = {
+            int(p["cluster"]): _graphoid_from_payload(p) for p in graphoids.get("gamma", [])
+        }
+
+        model.result_ = KGraphResult(
+            labels=arrays["labels"],
+            graphs=graphs,
+            partitions=partitions,
+            consensus_matrix=arrays["consensus_matrix"],
+            length_scores=[
+                LengthScore(
+                    length=int(row["length"]),
+                    consistency=float(row["consistency"]),
+                    interpretability=float(row["interpretability"]),
+                )
+                for row in manifest["length_scores"]
+            ],
+            optimal_length=int(manifest["fitted"]["optimal_length"]),
+            lambda_graphoids=lambda_graphoids,
+            gamma_graphoids=gamma_graphoids,
+            timings={str(k): float(v) for k, v in manifest.get("timings", {}).items()},
+        )
+    except KeyError as exc:
+        raise ArtifactError(
+            f"artifact {path} manifest is missing field {exc}"
+        ) from exc
+    model.labels_ = model.result_.labels
+    return model

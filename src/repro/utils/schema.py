@@ -1,0 +1,67 @@
+"""Schema-version guard shared by every on-disk JSON format.
+
+Both the benchmark result store (:mod:`repro.benchmark.store`) and the model
+artifact format (:mod:`repro.serve.artifacts`) stamp their payloads with a
+``schema_version`` integer.  Readers call :func:`check_schema_version` so the
+failure mode for a file written by a *newer* library version is a clear
+"upgrade the library" message instead of a KeyError deep inside a parser.
+
+The policy is deliberately simple:
+
+* versions are positive integers, bumped on any incompatible layout change;
+* a reader accepts every version up to the one it was built for (writers are
+  expected to keep old fields stable within a major format);
+* anything newer, missing, or malformed is rejected loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import ValidationError
+
+
+def check_schema_version(
+    found: object, *, supported: int, context: str
+) -> int:
+    """Validate a payload's ``schema_version`` against the reader's.
+
+    Parameters
+    ----------
+    found:
+        The raw value read from the payload (``None`` when the field is
+        absent, which is also rejected).
+    supported:
+        The newest version this reader understands.
+    context:
+        Human-readable payload description for the error message, e.g.
+        ``"benchmark result file 'results.json'"``.
+    """
+    if found is None:
+        raise ValidationError(
+            f"{context} has no schema_version field; it was either written by "
+            "a pre-versioning release or is not a valid payload"
+        )
+    if isinstance(found, bool) or not isinstance(found, int):
+        raise ValidationError(
+            f"{context} has a malformed schema_version {found!r}; expected a "
+            "positive integer"
+        )
+    if found < 1:
+        raise ValidationError(
+            f"{context} has invalid schema_version {found}; versions start at 1"
+        )
+    if found > supported:
+        raise ValidationError(
+            f"{context} uses schema_version {found} but this library only "
+            f"understands versions <= {supported}; upgrade the library to read it"
+        )
+    return int(found)
+
+
+def schema_envelope(version: int, format_name: Optional[str] = None) -> dict:
+    """The header fields every versioned JSON payload starts with."""
+    header: dict = {"schema_version": int(version)}
+    if format_name is not None:
+        header["format"] = str(format_name)
+    return header

@@ -7,7 +7,13 @@ Sub-commands:
 * ``graphint dashboard --dataset NAME -o F``  — write the static HTML dashboard
 * ``graphint benchmark -o results.json``      — run the benchmark campaign
 * ``graphint serve --port 8050``              — start the interactive server
+  (add ``--registry DIR`` to mount the model-serving JSON API on the same
+  port: ``POST /predict``, ``GET /models``, ``GET /healthz``)
 * ``graphint quiz --dataset NAME``            — run the simulated interpretability test
+* ``graphint export-model --dataset NAME -o DIR`` — fit k-Graph and save a
+  servable model artifact (or publish it with ``--registry DIR``)
+* ``graphint import-model ARTIFACT --registry DIR`` — copy an existing
+  artifact into a registry
 """
 
 from __future__ import annotations
@@ -78,11 +84,46 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8050)
     serve.add_argument("--benchmark-file", default=None)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--registry",
+        default=None,
+        help="model registry directory; mounts POST /predict, GET /models and "
+        "GET /healthz next to the dashboard routes",
+    )
+    serve.add_argument("--max-batch-size", type=int, default=32)
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.005,
+        help="seconds the oldest queued predict request waits before a partial "
+        "micro-batch is flushed",
+    )
+    _add_parallel_arguments(serve)
 
     quiz = subparsers.add_parser("quiz", help="run the simulated interpretability test")
     quiz.add_argument("--dataset", default="cylinder_bell_funnel")
     quiz.add_argument("--users", type=int, default=5)
     quiz.add_argument("--seed", type=int, default=0)
+
+    export_model = subparsers.add_parser(
+        "export-model", help="fit k-Graph and save a servable model artifact"
+    )
+    export_model.add_argument("--dataset", default="cylinder_bell_funnel")
+    export_model.add_argument("--clusters", type=int, default=None)
+    export_model.add_argument("--lengths", type=int, default=4, help="number of subsequence lengths")
+    export_model.add_argument("--seed", type=int, default=0)
+    export_model.add_argument("--output", "-o", default=None, help="artifact directory to write")
+    export_model.add_argument("--registry", default=None, help="publish into this registry instead")
+    export_model.add_argument("--model-id", default=None, help="registry model id (default: next vN)")
+    _add_parallel_arguments(export_model)
+
+    import_model = subparsers.add_parser(
+        "import-model", help="copy a model artifact into a registry"
+    )
+    import_model.add_argument("artifact", help="artifact directory written by export-model")
+    import_model.add_argument("--registry", required=True)
+    import_model.add_argument("--dataset", default=None, help="override the dataset recorded in the manifest")
+    import_model.add_argument("--model-id", default=None)
     return parser
 
 
@@ -154,14 +195,76 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.viz.server import DashboardApplication, serve_dashboard
+    from repro.viz.server import DashboardApplication, serve_application
 
     benchmark_results = load_results(args.benchmark_file) if args.benchmark_file else None
     application = DashboardApplication(
-        benchmark_results=benchmark_results, random_state=args.seed
+        benchmark_results=benchmark_results,
+        random_state=args.seed,
+        backend=args.backend,
+        n_jobs=args.jobs,
     )
+    if args.registry is not None:
+        from repro.serve import CombinedApplication, ModelRegistry, ServeApplication
+
+        serving = ServeApplication(
+            ModelRegistry(args.registry),
+            max_batch_size=args.max_batch_size,
+            flush_interval=args.flush_interval,
+            backend=args.backend,
+            n_jobs=args.jobs,
+        )
+        application = CombinedApplication(application, serving)
+        print(f"model registry mounted from {Path(args.registry).resolve()}")
     print(f"serving Graphint on http://{args.host}:{args.port} (Ctrl+C to stop)")
-    serve_dashboard(application, host=args.host, port=args.port)
+    try:
+        serve_application(application, host=args.host, port=args.port)
+    finally:
+        if hasattr(application, "close"):
+            application.close()
+    return 0
+
+
+def _cmd_export_model(args: argparse.Namespace) -> int:
+    from repro.core.kgraph import KGraph
+    from repro.serve import ModelRegistry, save_model
+
+    if (args.output is None) == (args.registry is None):
+        print("export-model needs exactly one of --output DIR or --registry DIR", file=sys.stderr)
+        return 2
+    dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    n_clusters = args.clusters
+    if n_clusters is None:
+        n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
+    model = KGraph(
+        n_clusters,
+        n_lengths=args.lengths,
+        random_state=args.seed,
+        backend=args.backend,
+        n_jobs=args.jobs,
+    ).fit(dataset.data)
+    if args.registry is not None:
+        record = ModelRegistry(args.registry).publish(
+            model, args.dataset, model_id=args.model_id
+        )
+        print(f"published {record.dataset}/{record.model_id} -> {record.path.resolve()}")
+    else:
+        path = save_model(model, args.output, dataset=args.dataset)
+        print(f"model artifact written to {path.resolve()}")
+    print(
+        f"fitted on {dataset.n_series} series, k={model.n_clusters}, "
+        f"optimal length {model.optimal_length_}"
+    )
+    return 0
+
+
+def _cmd_import_model(args: argparse.Namespace) -> int:
+    from repro.serve import ModelRegistry
+
+    record = ModelRegistry(args.registry).import_artifact(
+        args.artifact, dataset=args.dataset, model_id=args.model_id
+    )
+    print(f"imported {record.dataset}/{record.model_id} -> {record.path.resolve()}")
     return 0
 
 
@@ -184,6 +287,8 @@ _COMMANDS = {
     "benchmark": _cmd_benchmark,
     "serve": _cmd_serve,
     "quiz": _cmd_quiz,
+    "export-model": _cmd_export_model,
+    "import-model": _cmd_import_model,
 }
 
 

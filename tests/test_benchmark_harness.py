@@ -182,6 +182,45 @@ class TestPersistence:
         with pytest.raises(BenchmarkError):
             load_results(tmp_path / "missing.json")
 
+    def test_json_payload_is_versioned(self, campaign_results, tmp_path):
+        import json
+
+        from repro.benchmark.store import STORE_FORMAT, STORE_SCHEMA_VERSION
+
+        path = save_results(campaign_results, tmp_path / "results.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == STORE_SCHEMA_VERSION
+        assert payload["format"] == STORE_FORMAT
+        assert len(payload["results"]) == len(campaign_results)
+
+    def test_legacy_bare_list_files_still_load(self, campaign_results, tmp_path):
+        import json
+
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps([result.to_dict() for result in campaign_results]))
+        loaded = load_results(path)
+        assert len(loaded) == len(campaign_results)
+
+    def test_newer_schema_version_is_rejected(self, campaign_results, tmp_path):
+        import json
+
+        from repro.benchmark.store import STORE_SCHEMA_VERSION
+
+        path = save_results(campaign_results, tmp_path / "results.json")
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = STORE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchmarkError, match="upgrade the library"):
+            load_results(path)
+
+    def test_envelope_without_results_list_is_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "broken.json"
+        path.write_text(json.dumps({"schema_version": 1, "format": "benchmark-results"}))
+        with pytest.raises(BenchmarkError, match="results"):
+            load_results(path)
+
     def test_result_dict_roundtrip(self):
         result = BenchmarkResult(
             method="kmeans",

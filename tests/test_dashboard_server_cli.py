@@ -117,12 +117,26 @@ class TestServerRouting:
         assert "ari" in summary
 
     def test_unknown_dataset_404(self, application):
-        status, _, _ = application.handle("/?dataset=nope")
+        status, content_type, body = application.handle("/?dataset=nope")
         assert status == 404
+        assert content_type == "application/json"
+        error = json.loads(body)["error"]
+        assert error["status"] == 404
+        assert "cbf_small" in error["datasets"]
 
-    def test_unknown_route_404(self, application):
-        status, _, _ = application.handle("/wat")
+    def test_unknown_route_404_is_structured_json(self, application):
+        status, content_type, body = application.handle("/wat")
         assert status == 404
+        assert content_type == "application/json"
+        error = json.loads(body)["error"]
+        assert error["status"] == 404
+        assert "'/wat'" in error["message"]
+        assert "/datasets" in error["routes"]
+
+    def test_post_to_dashboard_is_405(self, application):
+        status, _, body = application.handle_request("POST", "/", b"{}")
+        assert status == 405
+        assert json.loads(body)["error"]["allow"] == ["GET"]
 
     def test_bad_parameters_400(self, application):
         status, _, _ = application.handle("/?dataset=cbf_small&lam=high")
@@ -186,6 +200,51 @@ class TestCLI:
         )
         assert dashboard_path.exists()
         assert "Graphint" in dashboard_path.read_text(encoding="utf-8")
+
+    def test_export_import_and_serve_model_commands(self, capsys, monkeypatch, tmp_path):
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        artifact = tmp_path / "artifact"
+        assert (
+            cli.main(
+                ["export-model", "--dataset", "cbf_small", "--lengths", "2", "-o", str(artifact)]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "model artifact written" in output
+        assert (artifact / "manifest.json").exists()
+
+        registry_dir = tmp_path / "registry"
+        assert (
+            cli.main(["import-model", str(artifact), "--registry", str(registry_dir)]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "imported cbf_small/v1" in output
+
+        # The serve command mounts the model API next to the dashboard.
+        from repro.serve import ModelRegistry, ServeApplication
+        from repro.viz.server import DashboardApplication
+        from repro.serve.service import CombinedApplication
+
+        combined = CombinedApplication(
+            DashboardApplication(catalogue=_small_catalogue(), n_lengths=2),
+            ServeApplication(ModelRegistry(registry_dir), flush_interval=0.001),
+        )
+        status, _, body = combined.handle_request("GET", "/models")
+        assert status == 200
+        assert json.loads(body)["models"][0]["dataset"] == "cbf_small"
+        status, _, body = combined.handle_request("GET", "/datasets")
+        assert status == 200
+        combined.close()
+
+    def test_export_model_requires_one_destination(self, monkeypatch, capsys):
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        assert cli.main(["export-model", "--dataset", "cbf_small"]) == 2
+        assert "exactly one of" in capsys.readouterr().err
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -125,3 +125,34 @@ class TestInterop:
 
         text = json.dumps(toy_graph.summary())
         assert '"n_nodes": 3' in text
+
+    def test_payload_round_trip_is_lossless(self, toy_graph):
+        import json
+
+        import numpy as np
+
+        from repro.graph.structure import TimeSeriesGraph
+
+        payload = json.loads(json.dumps(toy_graph.to_payload()))  # via real JSON
+        patterns = np.vstack([toy_graph.node_pattern(n) for n in toy_graph.nodes()])
+        restored = TimeSeriesGraph.from_payload(payload, patterns)
+        assert restored.nodes() == toy_graph.nodes()
+        assert restored.edges() == toy_graph.edges()
+        assert restored.node_positions() == toy_graph.node_positions()
+        assert np.array_equal(restored.feature_matrix(), toy_graph.feature_matrix())
+        assert np.array_equal(restored.adjacency_matrix(), toy_graph.adjacency_matrix())
+        for node in toy_graph.nodes():
+            assert restored.node_visit_counts(node) == toy_graph.node_visit_counts(node)
+        for series in range(toy_graph.n_series):
+            assert restored.trajectory(series) == toy_graph.trajectory(series)
+
+    def test_from_payload_rejects_pattern_mismatch(self, toy_graph):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.exceptions import ValidationError
+        from repro.graph.structure import TimeSeriesGraph
+
+        payload = toy_graph.to_payload()
+        with _pytest.raises(ValidationError, match="pattern matrix"):
+            TimeSeriesGraph.from_payload(payload, np.zeros((1, toy_graph.length)))

@@ -135,14 +135,44 @@ class TestPredict:
         # the ground-truth partition (up to label permutation).
         assert adjusted_rand_index(fresh.labels, predicted) > 0.3
 
-    def test_predict_requires_fit(self):
-        with pytest.raises(NotFittedError):
+    def test_predict_requires_fit_with_actionable_message(self):
+        with pytest.raises(NotFittedError, match=r"call fit\(data\) first"):
             KGraph(n_clusters=2).predict(np.zeros((3, 64)))
 
     def test_predict_rejects_too_short_series(self, fitted_kgraph):
         too_short = np.zeros((2, fitted_kgraph.optimal_length_))
-        with pytest.raises(ValidationError):
+        with pytest.raises(ValidationError) as excinfo:
             fitted_kgraph.predict(too_short)
+        # The message must name both the offending and the required length.
+        message = str(excinfo.value)
+        assert str(fitted_kgraph.optimal_length_) in message
+        assert str(fitted_kgraph.optimal_length_ + 1) in message
+
+    def test_predict_rejects_malformed_input_before_embedding_code(self, fitted_kgraph):
+        with pytest.raises(ValidationError, match="predict input"):
+            fitted_kgraph.predict(np.zeros((2, 2, 2)))
+        with pytest.raises(ValidationError, match="NaN"):
+            fitted_kgraph.predict(np.full((2, 64), np.nan))
+        with pytest.raises(ValidationError, match="numeric"):
+            fitted_kgraph.predict([["a", "b"], ["c", "d"]])
+
+    def test_predict_accepts_a_single_1d_series(self, fitted_kgraph, small_dataset):
+        single = fitted_kgraph.predict(small_dataset.data[0])
+        batch = fitted_kgraph.predict(small_dataset.data[:1])
+        assert np.array_equal(single, batch)
+
+    def test_prediction_state_matches_predict(self, fitted_kgraph, small_dataset):
+        from repro.core.kgraph import predict_with_state
+
+        state = fitted_kgraph.prediction_state()
+        assert state.length == fitted_kgraph.optimal_length_
+        assert state.patterns.shape[0] == fitted_kgraph.optimal_graph_.n_nodes
+        expected = fitted_kgraph.predict(small_dataset.data)
+        assert np.array_equal(predict_with_state(state, small_dataset.data), expected)
+
+    def test_prediction_state_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            KGraph(n_clusters=2).prediction_state()
 
 
 class TestBehaviour:

@@ -1,0 +1,141 @@
+"""Tests for the micro-batching inference engine (repro.serve.engine)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_cylinder_bell_funnel
+from repro.exceptions import ServiceError, ValidationError
+from repro.parallel import ThreadBackend
+from repro.serve.engine import InferenceEngine
+
+
+@pytest.fixture(scope="module")
+def fresh_series():
+    return make_cylinder_bell_funnel(n_series=16, length=64, noise=0.2, random_state=5).data
+
+
+def _concurrent_predict(engine, series_matrix):
+    """Issue one engine.predict per row from its own thread."""
+    results = [None] * len(series_matrix)
+    errors = []
+
+    def worker(index):
+        try:
+            results[index] = engine.predict(series_matrix[index])
+        except Exception as exc:  # noqa: BLE001 - surfaced via the errors list
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(len(series_matrix))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors, errors
+    return np.asarray(results)
+
+
+class TestCorrectness:
+    def test_single_predict_matches_model(self, fitted_kgraph, fresh_series):
+        with InferenceEngine(fitted_kgraph, flush_interval=0.001) as engine:
+            prediction = engine.predict(fresh_series[0])
+        expected = fitted_kgraph.predict(fresh_series[:1])
+        assert prediction == expected[0]
+
+    def test_concurrent_predictions_are_bit_identical(self, fitted_kgraph, fresh_series):
+        expected = fitted_kgraph.predict(fresh_series)
+        with InferenceEngine(fitted_kgraph, max_batch_size=4, flush_interval=0.02) as engine:
+            results = _concurrent_predict(engine, fresh_series)
+        assert np.array_equal(results, expected)
+
+    def test_predict_many_matches_model(self, fitted_kgraph, fresh_series):
+        expected = fitted_kgraph.predict(fresh_series)
+        with InferenceEngine(fitted_kgraph, max_batch_size=8) as engine:
+            results = engine.predict_many(fresh_series)
+        assert np.array_equal(results, expected)
+
+    def test_thread_backend_dispatch_is_identical(self, fitted_kgraph, fresh_series):
+        expected = fitted_kgraph.predict(fresh_series)
+        backend = ThreadBackend(2)
+        with InferenceEngine(
+            fitted_kgraph, max_batch_size=8, backend=backend, dispatch_chunk_size=3
+        ) as engine:
+            results = engine.predict_many(fresh_series)
+        backend.close()
+        assert np.array_equal(results, expected)
+
+
+class TestBatching:
+    def test_flush_on_size(self, fitted_kgraph, fresh_series):
+        # A huge flush interval means only the size trigger can flush full
+        # batches; requests arrive together so they must coalesce.
+        with InferenceEngine(fitted_kgraph, max_batch_size=4, flush_interval=5.0) as engine:
+            _concurrent_predict(engine, fresh_series[:8])
+            stats = engine.stats()
+        assert stats["requests"] == 8
+        assert stats["flush_reasons"]["size"] >= 1
+        assert stats["max_batch_size_seen"] == 4
+
+    def test_flush_on_timeout(self, fitted_kgraph, fresh_series):
+        # One lonely request can never fill the batch: only the timeout (or a
+        # drain) may flush it.
+        with InferenceEngine(fitted_kgraph, max_batch_size=64, flush_interval=0.01) as engine:
+            engine.predict(fresh_series[0])
+            stats = engine.stats()
+        assert stats["batches"] == 1
+        assert stats["flush_reasons"]["timeout"] == 1
+        assert stats["flush_reasons"]["size"] == 0
+
+    def test_mixed_series_lengths_share_a_batch(self, fitted_kgraph, fresh_series):
+        longer = np.concatenate([fresh_series[0], fresh_series[0]])
+        with InferenceEngine(fitted_kgraph, max_batch_size=8, flush_interval=0.05) as engine:
+            matrix = [fresh_series[0], longer, fresh_series[1]]
+            results = [None] * 3
+            threads = [
+                threading.Thread(target=lambda i=i: results.__setitem__(i, engine.predict(matrix[i])))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert results[0] == fitted_kgraph.predict(fresh_series[:1])[0]
+        assert results[2] == fitted_kgraph.predict(fresh_series[1:2])[0]
+        assert results[1] in set(np.unique(fitted_kgraph.labels_).tolist())
+
+
+class TestValidationAndLifecycle:
+    def test_malformed_series_fails_fast(self, fitted_kgraph):
+        with InferenceEngine(fitted_kgraph) as engine:
+            with pytest.raises(ValidationError, match="1-dimensional"):
+                engine.predict(np.zeros((3, 64)))
+            with pytest.raises(ValidationError, match="length"):
+                engine.predict(np.zeros(3))
+            with pytest.raises(ValidationError, match="NaN"):
+                engine.predict([float("nan")] * 64)
+
+    def test_bad_request_does_not_poison_later_ones(self, fitted_kgraph, fresh_series):
+        with InferenceEngine(fitted_kgraph, flush_interval=0.001) as engine:
+            with pytest.raises(ValidationError):
+                engine.predict(np.zeros(2))
+            assert engine.predict(fresh_series[0]) == fitted_kgraph.predict(fresh_series[:1])[0]
+
+    def test_closed_engine_rejects_requests(self, fitted_kgraph, fresh_series):
+        engine = InferenceEngine(fitted_kgraph)
+        engine.close()
+        with pytest.raises(ServiceError, match="closed"):
+            engine.predict(fresh_series[0])
+
+    def test_close_is_idempotent(self, fitted_kgraph):
+        engine = InferenceEngine(fitted_kgraph)
+        engine.close()
+        engine.close()
+
+    def test_parameter_validation(self, fitted_kgraph):
+        with pytest.raises(ValidationError):
+            InferenceEngine(fitted_kgraph, max_batch_size=0)
+        with pytest.raises(ValidationError):
+            InferenceEngine(fitted_kgraph, flush_interval=-1.0)
+        with pytest.raises(ValidationError):
+            InferenceEngine(fitted_kgraph, dispatch_chunk_size=0)

@@ -1,0 +1,254 @@
+"""Tests for the model-serving JSON API and its HTTP end-to-end path."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.datasets.synthetic import make_cylinder_bell_funnel
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import CombinedApplication, ServeApplication, serve_models
+
+
+@pytest.fixture(scope="module")
+def fresh_series():
+    return make_cylinder_bell_funnel(n_series=6, length=64, noise=0.2, random_state=11).data
+
+
+@pytest.fixture(scope="module")
+def application(fitted_kgraph, tmp_path_factory):
+    registry = ModelRegistry(tmp_path_factory.mktemp("registry"), cache_size=2)
+    registry.publish(fitted_kgraph, "cbf")
+    registry.publish(fitted_kgraph, "cbf")
+    app = ServeApplication(registry, max_batch_size=8, flush_interval=0.002)
+    yield app
+    app.close()
+
+
+def _json(body: str):
+    return json.loads(body)
+
+
+class TestRouting:
+    def test_healthz(self, application):
+        status, content_type, body = application.handle_request("GET", "/healthz")
+        assert status == 200
+        assert content_type == "application/json"
+        payload = _json(body)
+        assert payload["status"] == "ok"
+        assert payload["models"] == 2
+        assert "cache" in payload
+
+    def test_models_listing(self, application):
+        status, _, body = application.handle_request("GET", "/models")
+        assert status == 200
+        models = _json(body)["models"]
+        assert [(m["dataset"], m["model_id"]) for m in models] == [("cbf", "v1"), ("cbf", "v2")]
+
+    def test_models_for_dataset_and_detail(self, application):
+        status, _, body = application.handle_request("GET", "/models/cbf")
+        assert status == 200
+        assert len(_json(body)["models"]) == 2
+
+        status, _, body = application.handle_request("GET", "/models/cbf/v1")
+        assert status == 200
+        detail = _json(body)
+        assert detail["model_id"] == "v1"
+        assert detail["manifest"]["schema_version"] >= 1
+
+    def test_unknown_model_is_json_404(self, application):
+        status, content_type, body = application.handle_request("GET", "/models/ghost")
+        assert status == 404
+        assert content_type == "application/json"
+        assert "ghost" in _json(body)["error"]["message"]
+
+    def test_unknown_route_is_json_404_with_route_list(self, application):
+        status, _, body = application.handle_request("GET", "/wat")
+        assert status == 404
+        error = _json(body)["error"]
+        assert error["status"] == 404
+        assert "/predict" in error["routes"]
+
+    def test_predict_requires_post(self, application):
+        status, _, body = application.handle_request("GET", "/predict")
+        assert status == 405
+        assert _json(body)["error"]["allow"] == ["POST"]
+
+    def test_models_and_healthz_require_get(self, application):
+        for route in ("/models", "/models/cbf", "/healthz"):
+            status, _, body = application.handle_request("POST", route, b"{}")
+            assert status == 405
+            assert _json(body)["error"]["allow"] == ["GET"]
+
+    def test_engine_parameters_validated_at_startup(self, fitted_kgraph, tmp_path):
+        from repro.exceptions import ValidationError
+
+        registry = ModelRegistry(tmp_path / "registry")
+        with pytest.raises(ValidationError, match="max_batch_size"):
+            ServeApplication(registry, max_batch_size=0)
+        with pytest.raises(ValidationError, match="request_timeout"):
+            ServeApplication(registry, request_timeout=0.0)
+        with pytest.raises(ValidationError, match="max_engines"):
+            ServeApplication(registry, max_engines=0)
+
+    def test_engine_cache_is_bounded(self, fitted_kgraph, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        for _ in range(3):
+            registry.publish(fitted_kgraph, "cbf")
+        app = ServeApplication(registry, flush_interval=0.001, max_engines=2)
+        engines = [app.engine_for("cbf", f"v{n}") for n in (1, 2, 3)]
+        assert len(app._engines) == 2
+        # The oldest engine was evicted and closed; the newer two still live.
+        assert engines[0].closed
+        assert not engines[1].closed and not engines[2].closed
+        app.close()
+
+    def test_closed_application_returns_503(self, fitted_kgraph, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(fitted_kgraph, "cbf")
+        app = ServeApplication(registry, flush_interval=0.001)
+        app.close()
+        request = json.dumps({"series": [0.0] * 64}).encode()
+        status, _, body = app.handle_request("POST", "/predict", request)
+        assert status == 503
+        assert "closed" in _json(body)["error"]["message"]
+
+
+class TestPredictRoute:
+    def test_single_series(self, application, fitted_kgraph, fresh_series):
+        request = json.dumps({"series": fresh_series[0].tolist()}).encode()
+        status, _, body = application.handle_request("POST", "/predict", request)
+        assert status == 200
+        payload = _json(body)
+        assert payload["dataset"] == "cbf"
+        assert payload["model_id"] == "v2"  # latest by default
+        assert payload["prediction"] == int(fitted_kgraph.predict(fresh_series[:1])[0])
+
+    def test_batch_of_series_matches_offline_predict(self, application, fitted_kgraph, fresh_series):
+        request = json.dumps({"series": fresh_series.tolist(), "model_id": "v1"}).encode()
+        status, _, body = application.handle_request("POST", "/predict", request)
+        assert status == 200
+        payload = _json(body)
+        assert payload["predictions"] == fitted_kgraph.predict(fresh_series).tolist()
+        assert payload["n_series"] == len(fresh_series)
+
+    def test_invalid_json_body(self, application):
+        status, _, body = application.handle_request("POST", "/predict", b"{not json")
+        assert status == 400
+        assert "JSON" in _json(body)["error"]["message"]
+
+    def test_missing_series_field(self, application):
+        status, _, body = application.handle_request("POST", "/predict", b"{}")
+        assert status == 400
+        assert "series" in _json(body)["error"]["message"]
+
+    def test_too_short_series_is_400(self, application):
+        request = json.dumps({"series": [1.0, 2.0, 3.0]}).encode()
+        status, _, body = application.handle_request("POST", "/predict", request)
+        assert status == 400
+        assert "length" in _json(body)["error"]["message"]
+
+    def test_unknown_model_id_is_404(self, application, fresh_series):
+        request = json.dumps({"series": fresh_series[0].tolist(), "model_id": "v99"}).encode()
+        status, _, body = application.handle_request("POST", "/predict", request)
+        assert status == 404
+
+    def test_non_string_dataset_is_400(self, application, fresh_series):
+        request = json.dumps({"series": fresh_series[0].tolist(), "dataset": ["cbf"]}).encode()
+        status, _, body = application.handle_request("POST", "/predict", request)
+        assert status == 400
+        assert "dataset" in _json(body)["error"]["message"]
+
+    def test_corrupt_artifact_is_500_not_404(self, fitted_kgraph, fresh_series, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish(fitted_kgraph, "cbf")
+        (record.path / "arrays.npz").write_bytes(b"not an npz")
+        app = ServeApplication(registry, flush_interval=0.001)
+        request = json.dumps({"series": fresh_series[0].tolist()}).encode()
+        status, _, body = app.handle_request("POST", "/predict", request)
+        assert status == 500
+        app.close()
+
+
+class TestCombinedApplication:
+    def test_serving_routes_and_dashboard_routes_coexist(self, application):
+        class _StubDashboard:
+            def handle_request(self, method, path, body=None):
+                return 200, "text/html", "dashboard page"
+
+        combined = CombinedApplication(_StubDashboard(), application)
+        status, _, body = combined.handle_request("GET", "/healthz")
+        assert status == 200 and _json(body)["status"] == "ok"
+        status, _, body = combined.handle_request("GET", "/?dataset=x")
+        assert status == 200 and body == "dashboard page"
+
+
+class TestEndToEndHTTP:
+    def test_predict_over_real_http(self, application, fitted_kgraph, fresh_series):
+        server = serve_models(application, host="127.0.0.1", port=0, poll=False)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+                assert response.status == 200
+                assert json.loads(response.read())["status"] == "ok"
+
+            request = urllib.request.Request(
+                f"{base}/predict",
+                data=json.dumps({"series": fresh_series.tolist()}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 200
+                payload = json.loads(response.read())
+            assert payload["predictions"] == fitted_kgraph.predict(fresh_series).tolist()
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/nope", timeout=10)
+            assert excinfo.value.code == 404
+            assert json.loads(excinfo.value.read())["error"]["status"] == 404
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_concurrent_http_clients_coalesce_into_batches(self, fitted_kgraph, fresh_series, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(fitted_kgraph, "cbf")
+        app = ServeApplication(registry, max_batch_size=8, flush_interval=0.05)
+        server = serve_models(app, host="127.0.0.1", port=0, poll=False)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            expected = fitted_kgraph.predict(fresh_series).tolist()
+            results = [None] * len(fresh_series)
+
+            def client(index):
+                request = urllib.request.Request(
+                    f"{base}/predict",
+                    data=json.dumps({"series": fresh_series[index].tolist()}).encode(),
+                    method="POST",
+                )
+                with urllib.request.urlopen(request, timeout=30) as response:
+                    results[index] = json.loads(response.read())["prediction"]
+
+            clients = [threading.Thread(target=client, args=(i,)) for i in range(len(fresh_series))]
+            for c in clients:
+                c.start()
+            for c in clients:
+                c.join()
+            assert results == expected
+            stats = app.engine_for("cbf").stats()
+            assert stats["requests"] == len(fresh_series)
+            assert stats["batches"] <= len(fresh_series)  # at least some coalescing possible
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            app.close()

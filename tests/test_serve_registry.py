@@ -1,0 +1,164 @@
+"""Tests for the model registry and its LRU cache (repro.serve.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kgraph import KGraph
+from repro.exceptions import ArtifactError, ValidationError
+from repro.serve.artifacts import save_model
+from repro.serve.registry import ModelRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry", cache_size=2)
+
+
+class TestPublish:
+    def test_publish_assigns_sequential_versions(self, registry, fitted_kgraph):
+        first = registry.publish(fitted_kgraph, "cbf")
+        second = registry.publish(fitted_kgraph, "cbf")
+        assert first.model_id == "v1"
+        assert second.model_id == "v2"
+        assert registry.latest_model_id("cbf") == "v2"
+
+    def test_publish_custom_id_and_conflict(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf", model_id="prod")
+        with pytest.raises(ArtifactError, match="already exists"):
+            registry.publish(fitted_kgraph, "cbf", model_id="prod")
+
+    def test_unsafe_names_are_rejected(self, registry, fitted_kgraph):
+        with pytest.raises(ValidationError):
+            registry.publish(fitted_kgraph, "../escape")
+        with pytest.raises(ValidationError):
+            registry.publish(fitted_kgraph, "cbf", model_id="a/b")
+
+    def test_list_models_and_records(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf")
+        registry.publish(fitted_kgraph, "sines")
+        records = registry.list_models()
+        assert [(r.dataset, r.model_id) for r in records] == [("cbf", "v1"), ("sines", "v1")]
+        row = records[0].to_dict()
+        assert row["n_series"] == 24
+        assert row["n_clusters"] == 3
+        assert registry.datasets() == ["cbf", "sines"]
+
+    def test_corrupt_manifest_does_not_hide_healthy_models(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf")
+        registry.publish(fitted_kgraph, "cbf")
+        # Truncate one manifest mid-"write": the listing must skip it.
+        (registry.model_path("cbf", "v1") / "manifest.json").write_text('{"form')
+        assert [r.model_id for r in registry.list_models("cbf")] == ["v2"]
+
+    def test_stray_directories_in_registry_root_are_ignored(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf")
+        (registry.root / "__pycache__").mkdir()
+        (registry.root / "cbf" / "__pycache__").mkdir()
+        assert registry.datasets() == ["cbf"]
+        assert [r.model_id for r in registry.list_models("cbf")] == ["v1"]
+
+    def test_import_artifact_uses_manifest_dataset(self, registry, fitted_kgraph, tmp_path):
+        artifact = save_model(fitted_kgraph, tmp_path / "art", dataset="cbf")
+        record = registry.import_artifact(artifact)
+        assert (record.dataset, record.model_id) == ("cbf", "v1")
+        fetched = registry.fetch("cbf")
+        assert np.array_equal(fetched.labels_, fitted_kgraph.labels_)
+
+    def test_import_rejects_incomplete_artifact(self, registry, fitted_kgraph, tmp_path):
+        artifact = save_model(fitted_kgraph, tmp_path / "art", dataset="cbf")
+        (artifact / "arrays.npz").unlink()
+        with pytest.raises(ArtifactError, match="incomplete"):
+            registry.import_artifact(artifact)
+        assert registry.list_models() == []
+
+    def test_import_with_dataset_override_rewrites_manifest(self, registry, fitted_kgraph, tmp_path):
+        from repro.serve.artifacts import read_manifest
+
+        artifact = save_model(fitted_kgraph, tmp_path / "art", dataset="original")
+        record = registry.import_artifact(artifact, dataset="renamed")
+        assert read_manifest(record.path)["dataset"] == "renamed"
+
+    def test_import_artifact_without_dataset_name(self, registry, fitted_kgraph, tmp_path):
+        artifact = save_model(fitted_kgraph, tmp_path / "art")  # no dataset recorded
+        with pytest.raises(ArtifactError, match="dataset"):
+            registry.import_artifact(artifact)
+        record = registry.import_artifact(artifact, dataset="explicit")
+        assert record.dataset == "explicit"
+
+
+class TestFetchCache:
+    def test_fetch_round_trips_predictions(self, registry, fitted_kgraph, small_dataset):
+        registry.publish(fitted_kgraph, "cbf")
+        registry._cache.clear()  # force a cold read from disk
+        fetched = registry.fetch("cbf")
+        assert np.array_equal(
+            fetched.predict(small_dataset.data), fitted_kgraph.predict(small_dataset.data)
+        )
+
+    def test_fetch_unknown_model(self, registry):
+        with pytest.raises(ArtifactError, match="no models"):
+            registry.fetch("ghost")
+
+    def test_repeated_fetch_hits_cache(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf")
+        first = registry.fetch("cbf")   # miss: cold load from disk
+        second = registry.fetch("cbf")  # hit: same object served
+        assert first is second
+        stats = registry.cache_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_publish_does_not_cache_the_live_model(self, registry, fitted_kgraph):
+        # The caller may refit their object after publishing; fetch must serve
+        # what the artifact holds, never the caller's live instance.
+        registry.publish(fitted_kgraph, "cbf")
+        assert registry.cache_stats()["size"] == 0
+        assert registry.fetch("cbf") is not fitted_kgraph
+
+    def test_lru_eviction_order_and_stats(self, registry, fitted_kgraph):
+        # capacity 2: fetching three datasets must evict the oldest entry.
+        for dataset in ("a", "b", "c"):
+            registry.publish(fitted_kgraph, dataset)
+            registry.fetch(dataset)
+        stats = registry.cache_stats()
+        assert stats["evictions"] == 1
+        assert stats["cached"] == ["b/v1", "c/v1"]
+
+        # Touching "b" makes "c" the least recently used entry.
+        registry.fetch("b")
+        registry.fetch("a")  # miss: reload from disk, evicting "c"
+        stats = registry.cache_stats()
+        assert stats["evictions"] == 2
+        assert stats["cached"] == ["b/v1", "a/v1"]
+        assert stats["misses"] == 4
+
+    def test_cache_size_validated(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ModelRegistry(tmp_path, cache_size=0)
+
+
+class TestDescribe:
+    def test_describe_latest_includes_manifest(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf")
+        registry.publish(fitted_kgraph, "cbf")
+        description = registry.describe("cbf")
+        assert description["model_id"] == "v2"
+        assert description["manifest"]["fitted"]["n_series"] == 24
+
+    def test_describe_unknown_version(self, registry, fitted_kgraph):
+        registry.publish(fitted_kgraph, "cbf")
+        with pytest.raises(ArtifactError, match="not in the registry"):
+            registry.describe("cbf", "v9")
+
+    def test_inflight_reservation_reads_as_not_found(self, registry, fitted_kgraph):
+        from repro.exceptions import ModelNotFoundError
+
+        registry.publish(fitted_kgraph, "cbf")
+        # A crashed/in-flight publish: directory exists, no manifest yet.
+        (registry.root / "cbf" / "v2").mkdir()
+        with pytest.raises(ModelNotFoundError):
+            registry.describe("cbf", "v2")
+        with pytest.raises(ModelNotFoundError):
+            registry.fetch("cbf", "v2")
+        assert [r.model_id for r in registry.list_models("cbf")] == ["v1"]
