@@ -209,10 +209,13 @@ class PredictionState:
     patterns:
         (n_nodes, ¯ℓ) matrix of node patterns in node-sorted order.
     patterns_sq:
-        Per-row squared norms of ``patterns`` (pre-computed for the
-        distance evaluation).
+        Per-row squared norms of ``patterns`` (pre-computed once so the
+        window-to-pattern distance evaluation never recomputes them).
     centroids:
         (n_clusters, n_nodes) mean training node-visit profile per cluster.
+    centroids_sq:
+        Per-row squared norms of ``centroids`` (pre-computed once for the
+        profile-to-centroid assignment).
     clusters:
         Cluster identifiers aligned with the ``centroids`` rows.
     """
@@ -222,6 +225,7 @@ class PredictionState:
     patterns: np.ndarray
     patterns_sq: np.ndarray
     centroids: np.ndarray
+    centroids_sq: np.ndarray
     clusters: np.ndarray
 
     @property
@@ -230,14 +234,95 @@ class PredictionState:
         return int(self.patterns.shape[0])
 
 
+#: Transient-memory budget for one block of the batched predict path.
+_PREDICT_BLOCK_BYTES = 32 * 1024 * 1024
+
+
+def _profiles_to_predictions(
+    state: PredictionState, profiles: np.ndarray
+) -> np.ndarray:
+    """Map normalised node-visit profiles to cluster labels.
+
+    Uses the pre-computed ``centroids_sq`` (hoisted on the state) in the
+    expanded squared-distance form ``|p|^2 - 2 p.c + |c|^2``, shared by the
+    batched and reference predict paths so their assignments can never
+    drift.
+
+    .. note::
+       Pre-vectorization releases computed
+       ``np.linalg.norm(centroids - profile)`` directly.  The expanded form
+       is what makes the hoisted ``centroids_sq`` useful, but it rounds
+       differently in the last ulps, so a profile sitting almost exactly
+       between two centroids may resolve to the other — equally near —
+       cluster than an older release chose.
+    """
+    distances = (
+        np.sum(profiles**2, axis=1)[:, None]
+        - 2.0 * profiles @ state.centroids.T
+        + state.centroids_sq[None, :]
+    )
+    nearest = np.argmin(distances, axis=1)
+    return state.clusters[nearest].astype(int)
+
+
 def predict_with_state(state: PredictionState, array: np.ndarray) -> np.ndarray:
     """Assign already-validated series to clusters using a prepared state.
 
     Module-level (hence picklable) so serving micro-batches can be
-    dispatched through process backends too.  Each series is processed
-    independently — the result for a series never depends on which batch it
-    travelled in, keeping online predictions bit-identical to offline
-    ``KGraph.predict`` calls.
+    dispatched through process backends too.  The whole batch of
+    equal-length series is processed as one windows matrix: a single
+    sliding-window view, one z-normalisation, one GEMM against the node
+    patterns and one segmented bincount produce every series' node-visit
+    profile at once — the per-series maths is unchanged, so results are
+    bit-identical to :func:`predict_with_state_reference` and a prediction
+    never depends on which batch its series travelled in.
+    """
+    n_series = array.shape[0]
+    if n_series == 0:
+        return np.empty(0, dtype=int)
+    # (n_series, n_windows, length) strided view -> stacked windows matrix.
+    windows = np.lib.stride_tricks.sliding_window_view(array, state.length, axis=1)[
+        :, :: state.stride, :
+    ]
+    n_windows = windows.shape[1]
+    # Bounded row blocks: the stacked windows matrix of a whole dataset can
+    # dwarf the input (every subsequence is materialised), so predict peaks
+    # at ~2 x _PREDICT_BLOCK_BYTES of transient memory instead of
+    # O(dataset windows).
+    per_series = max(1, n_windows * state.length * 8)
+    block_series = max(1, _PREDICT_BLOCK_BYTES // per_series)
+    predictions = np.empty(n_series, dtype=int)
+    for start in range(0, n_series, block_series):
+        stop = min(n_series, start + block_series)
+        stacked = np.ascontiguousarray(windows[start:stop]).reshape(-1, state.length)
+        stacked = znormalize_dataset(stacked)
+        distances = (
+            np.sum(stacked**2, axis=1)[:, None]
+            - 2.0 * stacked @ state.patterns.T
+            + state.patterns_sq[None, :]
+        )
+        assignments = np.argmin(distances, axis=1)
+        # Segmented bincount: offset each series' assignments into its own
+        # block of node ids, count once, reshape into per-series profiles.
+        series_of_window = np.repeat(np.arange(stop - start), n_windows)
+        profiles = np.bincount(
+            series_of_window * state.n_nodes + assignments,
+            minlength=(stop - start) * state.n_nodes,
+        ).astype(float)
+        profiles = profiles.reshape(stop - start, state.n_nodes)
+        totals = profiles.sum(axis=1, keepdims=True)
+        profiles /= np.where(totals > 0, totals, 1.0)
+        predictions[start:stop] = _profiles_to_predictions(state, profiles)
+    return predictions
+
+
+def predict_with_state_reference(
+    state: PredictionState, array: np.ndarray
+) -> np.ndarray:
+    """Reference one-series-at-a-time prediction loop.
+
+    Retained as the implementation :func:`predict_with_state` is
+    benchmarked and equivalence-tested against (E13).
     """
     predictions = np.empty(array.shape[0], dtype=int)
     for index, series in enumerate(array):
@@ -253,8 +338,9 @@ def predict_with_state(state: PredictionState, array: np.ndarray) -> np.ndarray:
         total = profile.sum()
         if total > 0:
             profile /= total
-        nearest = int(np.argmin(np.linalg.norm(state.centroids - profile, axis=1)))
-        predictions[index] = int(state.clusters[nearest])
+        predictions[index] = _profiles_to_predictions(
+            state, profile[None, :]
+        )[0]
     return predictions
 
 
@@ -488,6 +574,7 @@ class KGraph:
             patterns=patterns,
             patterns_sq=np.sum(patterns**2, axis=1),
             centroids=centroids,
+            centroids_sq=np.sum(centroids**2, axis=1),
             clusters=clusters,
         )
 

@@ -71,22 +71,148 @@ class TimeSeriesGraph:
         self._node_series[node_id] = {}
 
     def record_visit(self, node_id: int, series_index: int) -> None:
-        """Record that a subsequence of ``series_index`` falls in ``node_id``."""
-        if node_id not in self._nodes:
-            raise GraphConstructionError(f"unknown node {node_id}")
-        counts = self._node_series[node_id]
-        counts[series_index] = counts.get(series_index, 0) + 1
-        self._nodes[node_id].n_subsequences += 1
-        self._trajectories.setdefault(series_index, []).append(node_id)
+        """Record that a subsequence of ``series_index`` falls in ``node_id``.
+
+        Thin wrapper over the bulk :meth:`add_visits` API; prefer the bulk
+        call when recording many visits at once.
+        """
+        self.add_visits([node_id], [series_index])
 
     def record_transition(self, source: int, target: int, series_index: int) -> None:
-        """Record a transition edge ``source -> target`` for ``series_index``."""
+        """Record a transition edge ``source -> target`` for ``series_index``.
+
+        Thin wrapper over the bulk :meth:`add_transitions` API; prefer the
+        bulk call when recording many transitions at once.
+        """
         if source not in self._nodes or target not in self._nodes:
             raise GraphConstructionError(f"unknown edge endpoint in ({source}, {target})")
-        edge = (source, target)
-        self._edges[edge] = self._edges.get(edge, 0) + 1
-        counts = self._edge_series.setdefault(edge, {})
-        counts[series_index] = counts.get(series_index, 0) + 1
+        self.add_transitions([source], [target], [series_index])
+
+    def add_visits(self, node_ids, series_indices) -> None:
+        """Record many (node, series) visits in one vectorised call.
+
+        ``node_ids`` and ``series_indices`` are equal-length integer arrays:
+        element ``t`` records that a subsequence of series
+        ``series_indices[t]`` falls in node ``node_ids[t]``.  Per-series
+        trajectories are extended in input order, so passing a dataset's
+        assignments grouped by series reproduces exactly what a loop of
+        :meth:`record_visit` calls would build, at NumPy speed: counts are
+        aggregated with ``np.bincount`` and only the distinct (node, series)
+        combinations touch Python dictionaries.
+        """
+        nodes = np.asarray(node_ids, dtype=int).ravel()
+        series = np.asarray(series_indices, dtype=int).ravel()
+        if nodes.shape[0] != series.shape[0]:
+            raise ValidationError(
+                f"node_ids and series_indices must have equal length, got "
+                f"{nodes.shape[0]} and {series.shape[0]}"
+            )
+        if nodes.size == 0:
+            return
+        if nodes.size == 1:
+            # Scalar fast path: keeps record_visit at its original per-call
+            # cost (no unique/bincount setup for a single element).
+            node_id, series_id = int(nodes[0]), int(series[0])
+            if node_id not in self._nodes:
+                raise GraphConstructionError(f"unknown node {node_id}")
+            bucket = self._node_series[node_id]
+            bucket[series_id] = bucket.get(series_id, 0) + 1
+            self._nodes[node_id].n_subsequences += 1
+            self._trajectories.setdefault(series_id, []).append(node_id)
+            return
+        unique_nodes, node_inverse = np.unique(nodes, return_inverse=True)
+        node_list = unique_nodes.tolist()
+        for node_id in node_list:
+            if node_id not in self._nodes:
+                raise GraphConstructionError(f"unknown node {node_id}")
+        unique_series, series_inverse = np.unique(series, return_inverse=True)
+        series_list = unique_series.tolist()
+
+        node_totals = np.bincount(node_inverse, minlength=unique_nodes.size)
+        for position, node_id in enumerate(node_list):
+            self._nodes[node_id].n_subsequences += int(node_totals[position])
+
+        key = node_inverse * unique_series.size + series_inverse
+        counts = np.bincount(key, minlength=unique_nodes.size * unique_series.size)
+        buckets = [self._node_series[node_id] for node_id in node_list]
+        occupied = np.flatnonzero(counts)
+        for flat, count in zip(occupied.tolist(), counts[occupied].tolist()):
+            bucket = buckets[flat // unique_series.size]
+            series_id = series_list[flat % unique_series.size]
+            bucket[series_id] = bucket.get(series_id, 0) + count
+
+        order = np.argsort(series, kind="stable")
+        boundaries = np.flatnonzero(np.diff(series[order])) + 1
+        for group in np.split(order, boundaries):
+            series_id = int(series[group[0]])
+            self._trajectories.setdefault(series_id, []).extend(
+                nodes[group].tolist()
+            )
+
+    def add_transitions(self, sources, targets, series_indices) -> None:
+        """Record many directed transitions in one vectorised call.
+
+        Element ``t`` records a traversal of edge
+        ``sources[t] -> targets[t]`` by series ``series_indices[t]``.  Edge
+        weights and per-edge series counts are aggregated with
+        ``np.bincount``; only distinct (edge, series) combinations touch
+        Python dictionaries, so recording a whole dataset's transitions is
+        O(total + distinct) instead of one dictionary update per traversal.
+        """
+        src = np.asarray(sources, dtype=int).ravel()
+        dst = np.asarray(targets, dtype=int).ravel()
+        series = np.asarray(series_indices, dtype=int).ravel()
+        if not (src.shape[0] == dst.shape[0] == series.shape[0]):
+            raise ValidationError(
+                f"sources, targets and series_indices must have equal length, "
+                f"got {src.shape[0]}, {dst.shape[0]} and {series.shape[0]}"
+            )
+        if src.size == 0:
+            return
+        if src.size == 1:
+            # Scalar fast path mirroring record_transition's original cost.
+            source, target = int(src[0]), int(dst[0])
+            series_id = int(series[0])
+            if source not in self._nodes or target not in self._nodes:
+                raise GraphConstructionError(
+                    f"unknown edge endpoint in ({source}, {target})"
+                )
+            edge = (source, target)
+            self._edges[edge] = self._edges.get(edge, 0) + 1
+            bucket = self._edge_series.setdefault(edge, {})
+            bucket[series_id] = bucket.get(series_id, 0) + 1
+            return
+        for node_id in np.unique(np.concatenate([src, dst])).tolist():
+            if node_id not in self._nodes:
+                raise GraphConstructionError(
+                    f"unknown edge endpoint in ({node_id}, ...)"
+                )
+        # Encode (source, target) pairs as one integer so the distinct
+        # edges come from a fast 1-D unique instead of np.unique(axis=0).
+        base = int(min(src.min(), dst.min()))
+        span = int(max(src.max(), dst.max())) - base + 1
+        unique_keys, pair_inverse = np.unique(
+            (src - base) * span + (dst - base), return_inverse=True
+        )
+        edge_list = [
+            (int(key) // span + base, int(key) % span + base)
+            for key in unique_keys.tolist()
+        ]
+        unique_series, series_inverse = np.unique(series, return_inverse=True)
+        series_list = unique_series.tolist()
+
+        edge_totals = np.bincount(pair_inverse, minlength=unique_keys.size)
+        for position, edge in enumerate(edge_list):
+            self._edges[edge] = self._edges.get(edge, 0) + int(edge_totals[position])
+
+        key = pair_inverse * unique_series.size + series_inverse
+        counts = np.bincount(key, minlength=unique_keys.size * unique_series.size)
+        buckets = [self._edge_series.setdefault(edge, {}) for edge in edge_list]
+        occupied = np.flatnonzero(counts)
+        for flat, count in zip(occupied.tolist(), counts[occupied].tolist()):
+            bucket = buckets[flat // unique_series.size]
+            series_id = series_list[flat % unique_series.size]
+            bucket[series_id] = bucket.get(series_id, 0) + count
 
     # ------------------------------------------------------------------ #
     # accessors

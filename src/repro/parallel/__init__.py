@@ -22,6 +22,10 @@ Three backends ship today:
   kernels release the GIL, and requires no pickling.
 * :class:`ProcessBackend` — a process pool with configurable ``chunk_size``;
   sidesteps the GIL, requires module-level job functions and picklable jobs.
+* :class:`SharedMemoryBackend` — a process pool whose jobs ship large
+  NumPy arrays through zero-copy POSIX shared memory (written once per
+  fan-out, identity-deduplicated across jobs) instead of re-pickling the
+  dataset per job; select with ``backend="shared"``.
 
 Every user-facing entry point threads the same two keywords down to
 :func:`resolve_backend`::
@@ -50,13 +54,21 @@ from repro.parallel.backends import (
     backend_scope,
     resolve_backend,
 )
+from repro.parallel.shared import (
+    SharedArrayPlan,
+    SharedMemoryBackend,
+    substitute_shared_arrays,
+)
 
 __all__ = [
     "ExecutionBackend",
     "JobOutcome",
     "ProcessBackend",
     "SerialBackend",
+    "SharedArrayPlan",
+    "SharedMemoryBackend",
     "ThreadBackend",
     "backend_scope",
     "resolve_backend",
+    "substitute_shared_arrays",
 ]

@@ -353,12 +353,21 @@ class ProcessBackend(ExecutionBackend):
         return f"ProcessBackend(n_workers={self.n_workers}, chunk_size={self.chunk_size})"
 
 
+def _shared_memory_backend_class():
+    # Imported lazily: shared.py imports ProcessBackend from this module.
+    from repro.parallel.shared import SharedMemoryBackend
+
+    return SharedMemoryBackend
+
+
 _BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "threads": ThreadBackend,
     "process": ProcessBackend,
     "processes": ProcessBackend,
+    "shared": _shared_memory_backend_class,
+    "shared_memory": _shared_memory_backend_class,
 }
 
 
@@ -371,8 +380,10 @@ def resolve_backend(
     * an :class:`ExecutionBackend` instance is returned unchanged —
       combining one with ``n_jobs`` is rejected, since the instance already
       fixed its own worker count;
-    * ``"serial"`` / ``"thread"`` / ``"process"`` name a backend class
-      (``n_jobs`` sets its worker count; ``"serial"`` ignores it);
+    * ``"serial"`` / ``"thread"`` / ``"process"`` / ``"shared"`` name a
+      backend class (``n_jobs`` sets its worker count; ``"serial"`` ignores
+      it; ``"shared"`` is a process pool with zero-copy shared-memory
+      dataset plans, see :class:`repro.parallel.shared.SharedMemoryBackend`);
     * ``backend=None`` with ``n_jobs`` > 1 selects :class:`ThreadBackend`;
     * everything else (the default) is :class:`SerialBackend`.
     """
@@ -396,6 +407,8 @@ def resolve_backend(
                 f"unknown backend {backend!r}; available: {sorted(set(_BACKENDS))}"
             )
         cls = _BACKENDS[key]
+        if not isinstance(cls, type):
+            cls = cls()  # lazy factory (see _shared_memory_backend_class)
         if cls is SerialBackend:
             return SerialBackend()
         return cls(n_jobs)

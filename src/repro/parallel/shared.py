@@ -1,0 +1,300 @@
+"""Zero-copy shared-memory dataset plans for process backends.
+
+A :class:`~repro.parallel.backends.ProcessBackend` pickles every job — and a
+fan-out like ``KGraph.fit`` embeds the *same* dataset array in every
+per-length job, so the dataset crosses the process boundary once per job.
+This module removes that cost:
+
+* :class:`SharedArrayPlan` writes each distinct array into a POSIX
+  shared-memory segment **once** and hands out tiny picklable references;
+* unpickling a reference in a worker attaches to the segment and yields a
+  read-only NumPy **view** of the same physical pages — no copy, no
+  per-job serialisation of the data;
+* :class:`SharedMemoryBackend` applies this transparently: before
+  submitting, it walks each job (dataclass fields, dict values, tuple/list
+  elements) and swaps every large ``ndarray`` for a reference, de-duplicated
+  by object identity, so callers and job functions keep working with plain
+  arrays and nothing else in the codebase changes.
+
+Results still travel back through normal pickling — they are distinct per
+job; only the repeated *inputs* are worth sharing.
+
+Worker-side views are marked read-only: jobs receive the caller's dataset
+by reference, and silently mutating it from several workers would be a
+correctness bug, not a feature.  Segments are unlinked by the parent as
+soon as ``map_jobs`` returns; attached workers keep their mappings valid
+until they drop them (POSIX keeps the pages alive while mapped).
+
+When shared memory is unavailable (exotic platforms, exhausted
+``/dev/shm``), the backend degrades gracefully to plain pickling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+from repro.exceptions import ValidationError
+from repro.parallel.backends import JobOutcome, OnResult, ProcessBackend
+
+#: Arrays smaller than this travel as plain pickles: a shared-memory
+#: segment costs a file descriptor and an mmap per worker, which only pays
+#: off once the array itself is non-trivial.
+DEFAULT_MIN_SHARE_BYTES = 64 * 1024
+
+# Worker-side cache of attached segments: segment name -> SharedMemory.
+# Keeping the handle referenced keeps the mapping (and therefore every
+# ndarray view handed to jobs) valid; entries are pruned opportunistically
+# once views are garbage and the cache grows past _ATTACH_CACHE_LIMIT.
+# The limit is deliberately tiny: a fan-out rarely shares more than one or
+# two distinct arrays, and every cached segment pins dataset-sized pages
+# in the worker even after the parent unlinked the name.
+_ATTACHED: "OrderedDict[str, Any]" = OrderedDict()
+_ATTACH_CACHE_LIMIT = 2
+
+
+def _prune_attached() -> None:
+    """Drop attached segments whose views are gone, oldest first."""
+    while len(_ATTACHED) > _ATTACH_CACHE_LIMIT:
+        name, shm = next(iter(_ATTACHED.items()))
+        try:
+            shm.close()
+        except Exception:
+            # A live view still exports the buffer: keep the segment and
+            # stop pruning (younger entries are even more likely in use).
+            _ATTACHED.move_to_end(name)
+            return
+        del _ATTACHED[name]
+
+
+def _attach_shared_array(name: str, shape: Tuple[int, ...], dtype: str) -> np.ndarray:
+    """Worker-side reconstructor: attach to a segment, return a read-only view.
+
+    This is what a pickled :class:`_SharedArrayRef` unpickles *into* — job
+    functions receive an ordinary ``ndarray`` and never see the plumbing.
+    """
+    shm = _ATTACHED.get(name)
+    if shm is None:
+        try:
+            shm = _shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # pragma: no cover - track= needs Python >= 3.13
+            # < 3.13 registers attached segments with the (process-tree
+            # shared) resource tracker.  The registry is a set, so this
+            # duplicate registration collapses into the creator's entry and
+            # the parent's unlink balances it — unregistering here instead
+            # would double-remove and make the tracker raise.
+            shm = _shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = shm
+        _prune_attached()
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    return view
+
+
+class _SharedArrayRef:
+    """Tiny picklable stand-in for an array living in shared memory.
+
+    Pickling one of these costs ~100 bytes regardless of the array size;
+    unpickling yields the attached ndarray view itself (see
+    :func:`_attach_shared_array`), so the substitution is invisible to job
+    functions.
+    """
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str) -> None:
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __reduce__(self):
+        return (_attach_shared_array, (self.name, self.shape, self.dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_SharedArrayRef(name={self.name!r}, shape={self.shape}, dtype={self.dtype})"
+
+
+class SharedArrayPlan:
+    """Parent-side owner of the shared segments for one fan-out.
+
+    ``share`` copies an array into shared memory the first time it sees it
+    (identity-deduplicated, so the dataset embedded in M per-length jobs is
+    written once) and returns the reference to embed in the job instead.
+    ``close`` unlinks every segment; call it once all results are in.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[Any] = []
+        self._refs_by_id: Dict[int, _SharedArrayRef] = {}
+        # Shared arrays must stay alive while their id() keys are in use —
+        # a recycled id would alias a different array to a stale segment.
+        self._keepalive: List[np.ndarray] = []
+
+    @property
+    def n_segments(self) -> int:
+        """Number of distinct segments created so far."""
+        return len(self._segments)
+
+    def share(self, array: np.ndarray) -> _SharedArrayRef:
+        """Return the shared-memory reference for ``array``, creating it once."""
+        if _shared_memory is None:  # pragma: no cover - platform dependent
+            raise ValidationError("shared memory is not available on this platform")
+        existing = self._refs_by_id.get(id(array))
+        if existing is not None:
+            return existing
+        contiguous = np.ascontiguousarray(array)
+        shm = _shared_memory.SharedMemory(create=True, size=max(1, contiguous.nbytes))
+        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=shm.buf)
+        view[...] = contiguous
+        ref = _SharedArrayRef(shm.name, contiguous.shape, contiguous.dtype.str)
+        self._segments.append(shm)
+        self._refs_by_id[id(array)] = ref
+        self._keepalive.append(array)
+        return ref
+
+    def close(self) -> None:
+        """Unlink every segment created by this plan (idempotent)."""
+        for shm in self._segments:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            try:
+                shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+        self._segments.clear()
+        self._refs_by_id.clear()
+        self._keepalive.clear()
+
+    def __enter__(self) -> "SharedArrayPlan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def substitute_shared_arrays(
+    job: Any,
+    plan: SharedArrayPlan,
+    min_bytes: int = DEFAULT_MIN_SHARE_BYTES,
+    _depth: int = 3,
+) -> Any:
+    """Return ``job`` with every large ndarray swapped for a shared reference.
+
+    Walks dataclass fields, dict values and tuple/list elements up to a
+    small fixed depth (payload containers, not arbitrary object graphs) and
+    rebuilds the container only when something actually changed, so jobs
+    without arrays pass through untouched.
+    """
+    if isinstance(job, np.ndarray):
+        if job.nbytes >= min_bytes:
+            return plan.share(job)
+        return job
+    if _depth <= 0:
+        return job
+    if dataclasses.is_dataclass(job) and not isinstance(job, type):
+        changes = {}
+        for field in dataclasses.fields(job):
+            value = getattr(job, field.name)
+            replaced = substitute_shared_arrays(value, plan, min_bytes, _depth - 1)
+            if replaced is not value:
+                changes[field.name] = replaced
+        return dataclasses.replace(job, **changes) if changes else job
+    if isinstance(job, dict):
+        replaced_items = {
+            key: substitute_shared_arrays(value, plan, min_bytes, _depth - 1)
+            for key, value in job.items()
+        }
+        if all(replaced_items[key] is job[key] for key in job):
+            return job
+        return replaced_items
+    if isinstance(job, (tuple, list)):
+        replaced_seq = [
+            substitute_shared_arrays(value, plan, min_bytes, _depth - 1)
+            for value in job
+        ]
+        if all(new is old for new, old in zip(replaced_seq, job)):
+            return job
+        if isinstance(job, tuple):
+            # Preserve namedtuples (their constructor takes positional args).
+            cls = type(job)
+            return cls(*replaced_seq) if hasattr(cls, "_fields") else tuple(replaced_seq)
+        return replaced_seq
+    return job
+
+
+class SharedMemoryBackend(ProcessBackend):
+    """Process pool that ships large job arrays through shared memory.
+
+    Behaves exactly like :class:`ProcessBackend` (same ordered results,
+    per-job error capture, chunking) but, before submitting, swaps every
+    ndarray of at least ``min_share_bytes`` embedded in a job for a
+    zero-copy shared-memory reference — de-duplicated across jobs, so a
+    dataset repeated in every job of a fan-out crosses the process boundary
+    once instead of once per job.  Worker-side views are read-only; see the
+    module docstring for lifecycle details.
+
+    Select it anywhere a backend is accepted with ``backend="shared"``
+    (aliases ``"shared_memory"``) or by passing an instance.
+    """
+
+    name = "shared_memory"
+
+    def __init__(
+        self,
+        n_workers: Optional[int] = None,
+        *,
+        chunk_size: int = 1,
+        min_share_bytes: int = DEFAULT_MIN_SHARE_BYTES,
+    ) -> None:
+        super().__init__(n_workers, chunk_size=chunk_size)
+        if int(min_share_bytes) < 0:
+            raise ValidationError(
+                f"min_share_bytes must be >= 0, got {min_share_bytes}"
+            )
+        self.min_share_bytes = int(min_share_bytes)
+
+    def map_jobs(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        on_result: OnResult = None,
+    ) -> List[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        plan = SharedArrayPlan()
+        try:
+            try:
+                submitted = [
+                    substitute_shared_arrays(job, plan, self.min_share_bytes)
+                    for job in jobs
+                ]
+            except Exception:
+                # Shared memory unavailable or exhausted: degrade to plain
+                # pickling rather than failing the fan-out.
+                plan.close()
+                plan = SharedArrayPlan()
+                submitted = jobs
+            return super().map_jobs(fn, submitted, on_result=on_result)
+        finally:
+            # Results are all in (or the pool broke): the segments have done
+            # their job either way.  Workers that are still attached keep
+            # their mappings; unlinking only removes the name.
+            plan.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedMemoryBackend(n_workers={self.n_workers}, "
+            f"chunk_size={self.chunk_size}, min_share_bytes={self.min_share_bytes})"
+        )

@@ -32,7 +32,12 @@ import numpy as np
 
 from repro.core.kgraph import KGraph, PredictionState, predict_with_state
 from repro.exceptions import ServiceError, ValidationError
-from repro.parallel import ExecutionBackend, ProcessBackend, resolve_backend
+from repro.parallel import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.utils.validation import check_array
 
 
@@ -292,8 +297,11 @@ class InferenceEngine:
         # Each chunk job carries the full PredictionState; across a process
         # boundary that pickling cost scales with the model, not the chunk,
         # so process backends get one job per group instead of per chunk.
+        # Serial backends get one job per group too: predict_with_state is
+        # batch-vectorised (one windows matrix per call), so splitting a
+        # group into chunks only helps when chunks can overlap on workers.
         chunk_size = self.dispatch_chunk_size
-        if isinstance(self._backend, ProcessBackend):
+        if isinstance(self._backend, (ProcessBackend, SerialBackend)):
             chunk_size = max(chunk_size, self.max_batch_size)
         for requests in groups.values():
             try:

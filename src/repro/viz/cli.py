@@ -36,9 +36,13 @@ from repro.viz.session import GraphintSession
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "shared"],
         default=None,
-        help="execution backend for the parallel pipeline stages (default: serial)",
+        help=(
+            "execution backend for the parallel pipeline stages (default: "
+            "serial); 'shared' is a process pool with zero-copy shared-memory "
+            "dataset plans"
+        ),
     )
     parser.add_argument(
         "--jobs",

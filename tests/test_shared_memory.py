@@ -1,0 +1,176 @@
+"""Tests for the zero-copy shared-memory dataset plans (repro.parallel.shared)."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.kgraph import KGraph
+from repro.datasets import generate_dataset
+from repro.exceptions import ValidationError
+from repro.parallel import (
+    ProcessBackend,
+    SerialBackend,
+    SharedArrayPlan,
+    SharedMemoryBackend,
+    resolve_backend,
+    substitute_shared_arrays,
+)
+from repro.parallel.shared import _SharedArrayRef
+
+
+@dataclass(frozen=True)
+class _ArrayJob:
+    array: np.ndarray
+    offset: float
+
+
+def _job_sum(job: _ArrayJob) -> float:
+    return float(job.array.sum() + job.offset)
+
+
+def _mutate_job(job: _ArrayJob) -> float:
+    job.array[0, 0] = -1.0
+    return 0.0
+
+
+class TestSharedArrayPlan:
+    def test_share_roundtrip_is_equal_and_readonly(self):
+        rng = np.random.default_rng(0)
+        array = rng.normal(size=(64, 32))
+        with SharedArrayPlan() as plan:
+            ref = plan.share(array)
+            assert isinstance(ref, _SharedArrayRef)
+            view = pickle.loads(pickle.dumps(ref))
+            assert np.array_equal(view, array)
+            assert not view.flags.writeable
+
+    def test_identity_deduplication(self):
+        array = np.zeros((16, 16))
+        other = np.ones((16, 16))
+        with SharedArrayPlan() as plan:
+            first = plan.share(array)
+            second = plan.share(array)
+            third = plan.share(other)
+            assert first is second
+            assert third is not first
+            assert plan.n_segments == 2
+
+    def test_reference_pickle_is_tiny(self):
+        array = np.zeros((512, 512))
+        with SharedArrayPlan() as plan:
+            ref = plan.share(array)
+            assert len(pickle.dumps(ref)) < 1024
+            assert len(pickle.dumps(array)) > array.nbytes
+
+    def test_close_is_idempotent(self):
+        plan = SharedArrayPlan()
+        plan.share(np.zeros(128))
+        plan.close()
+        plan.close()
+        assert plan.n_segments == 0
+
+
+class TestSubstitution:
+    def test_dataclass_fields(self):
+        job = _ArrayJob(array=np.zeros((32, 32)), offset=2.0)
+        with SharedArrayPlan() as plan:
+            replaced = substitute_shared_arrays(job, plan, min_bytes=0)
+            assert isinstance(replaced.array, _SharedArrayRef)
+            assert replaced.offset == 2.0
+            assert isinstance(job.array, np.ndarray)  # original untouched
+
+    def test_small_arrays_pass_through(self):
+        job = _ArrayJob(array=np.zeros((2, 2)), offset=0.0)
+        with SharedArrayPlan() as plan:
+            replaced = substitute_shared_arrays(job, plan, min_bytes=1 << 20)
+            assert replaced is job
+            assert plan.n_segments == 0
+
+    def test_containers(self):
+        array = np.zeros(64)
+        with SharedArrayPlan() as plan:
+            as_dict = substitute_shared_arrays({"a": array, "b": 1}, plan, 0)
+            as_tuple = substitute_shared_arrays((array, "x"), plan, 0)
+            as_list = substitute_shared_arrays([array], plan, 0)
+            assert isinstance(as_dict["a"], _SharedArrayRef)
+            assert as_dict["b"] == 1
+            assert isinstance(as_tuple[0], _SharedArrayRef)
+            assert as_tuple[1] == "x"
+            assert isinstance(as_list[0], _SharedArrayRef)
+            # The same array in all three containers used one segment.
+            assert plan.n_segments == 1
+
+    def test_non_array_jobs_untouched(self):
+        with SharedArrayPlan() as plan:
+            assert substitute_shared_arrays("job", plan, 0) == "job"
+            assert substitute_shared_arrays(123, plan, 0) == 123
+            assert plan.n_segments == 0
+
+
+class TestSharedMemoryBackend:
+    def test_resolve_by_name(self):
+        backend = resolve_backend("shared", 2)
+        try:
+            assert isinstance(backend, SharedMemoryBackend)
+            assert isinstance(backend, ProcessBackend)
+            assert backend.n_workers == 2
+        finally:
+            backend.close()
+        with resolve_backend("shared_memory") as alias:
+            assert isinstance(alias, SharedMemoryBackend)
+
+    def test_invalid_min_share_bytes(self):
+        with pytest.raises(ValidationError):
+            SharedMemoryBackend(min_share_bytes=-1)
+
+    def test_results_match_serial(self):
+        rng = np.random.default_rng(1)
+        shared_array = rng.normal(size=(128, 64))
+        jobs = [_ArrayJob(array=shared_array, offset=float(i)) for i in range(6)]
+        expected = [outcome.value for outcome in SerialBackend().map_jobs(_job_sum, jobs)]
+        with SharedMemoryBackend(2, min_share_bytes=0) as backend:
+            outcomes = backend.map_jobs(_job_sum, jobs)
+        assert [outcome.value for outcome in outcomes] == expected
+        assert all(outcome.ok for outcome in outcomes)
+
+    def test_worker_views_are_readonly(self):
+        jobs = [_ArrayJob(array=np.zeros((64, 64)), offset=0.0)]
+        with SharedMemoryBackend(1, min_share_bytes=0) as backend:
+            outcomes = backend.map_jobs(_mutate_job, jobs)
+        assert not outcomes[0].ok
+        assert "read-only" in outcomes[0].error
+
+    def test_empty_jobs(self):
+        with SharedMemoryBackend(1) as backend:
+            assert backend.map_jobs(_job_sum, []) == []
+
+    def test_fallback_when_sharing_fails(self, monkeypatch):
+        # If segment creation fails the backend must degrade to plain
+        # pickling, not fail the fan-out.
+        def broken_share(self, array):
+            raise OSError("no shared memory")
+
+        monkeypatch.setattr(SharedArrayPlan, "share", broken_share)
+        jobs = [_ArrayJob(array=np.ones((64, 64)), offset=0.0)]
+        with SharedMemoryBackend(1, min_share_bytes=0) as backend:
+            outcomes = backend.map_jobs(_job_sum, jobs)
+        assert outcomes[0].ok
+        assert outcomes[0].value == 64 * 64
+
+
+class TestKGraphIntegration:
+    def test_fit_is_bit_identical_to_serial(self):
+        dataset = generate_dataset("cylinder_bell_funnel", random_state=0)
+        serial = KGraph(n_clusters=3, n_lengths=2, random_state=0).fit(dataset.data)
+        with SharedMemoryBackend(2, min_share_bytes=0) as backend:
+            shared = KGraph(
+                n_clusters=3, n_lengths=2, random_state=0, backend=backend
+            ).fit(dataset.data)
+        assert np.array_equal(serial.labels_, shared.labels_)
+        assert serial.optimal_length_ == shared.optimal_length_
+        for length, graph in serial.result_.graphs.items():
+            assert graph.to_payload() == shared.result_.graphs[length].to_payload()
