@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Pipeline-resume smoke check (CI).
+
+Runs a tiny k-Graph fit through the stage pipeline with a disk checkpoint
+cache, then
+
+1. re-fits with identical parameters — every stage must replay from the
+   cache and the results must be bit-identical;
+2. re-fits with one changed parameter (``feature_mode``) — the upstream
+   ``embed`` stage must be skipped while every downstream stage re-runs,
+   and the partially replayed fit must be bit-identical to a cold
+   reference fit of the changed configuration.
+
+Exit status: 0 when every invariant holds, 1 otherwise.  This is the
+cheap, deterministic guard for the resumability contract of
+``repro.pipeline`` (the full matrix lives in ``tests/test_pipeline.py``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/pipeline_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.core.kgraph import KGraph
+from repro.datasets.synthetic import make_cylinder_bell_funnel
+from repro.pipeline import KGRAPH_STAGE_NAMES
+
+ALL_STAGES = list(KGRAPH_STAGE_NAMES)
+
+
+def _check(condition: bool, message: str, failures: list) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def main() -> int:
+    dataset = make_cylinder_bell_funnel(
+        n_series=15, length=48, noise=0.2, random_state=0
+    )
+    failures: list = []
+    with tempfile.TemporaryDirectory(prefix="kgraph-stage-cache-") as cache_dir:
+        params = dict(n_clusters=3, n_lengths=2, random_state=0)
+
+        print("cold fit (populates the checkpoint cache)")
+        cold = KGraph(**params, stage_cache=cache_dir).fit(dataset.data)
+        _check(
+            cold.pipeline_report_.executed == ALL_STAGES,
+            f"every stage executed: {cold.pipeline_report_.executed}",
+            failures,
+        )
+
+        print("identical re-fit (must replay every stage)")
+        warm = KGraph(**params, stage_cache=cache_dir).fit(dataset.data)
+        _check(
+            warm.pipeline_report_.cached == ALL_STAGES,
+            f"every stage replayed: {warm.pipeline_report_.cached}",
+            failures,
+        )
+        _check(
+            np.array_equal(warm.labels_, cold.labels_)
+            and np.array_equal(
+                warm.result_.consensus_matrix, cold.result_.consensus_matrix
+            ),
+            "replayed fit is bit-identical to the cold fit",
+            failures,
+        )
+
+        print("one-parameter change (feature_mode: must skip only 'embed')")
+        changed = dict(params, feature_mode="nodes")
+        partial = KGraph(**changed, stage_cache=cache_dir).fit(dataset.data)
+        _check(
+            partial.pipeline_report_.cached == ["embed"],
+            f"upstream embed skipped: cached={partial.pipeline_report_.cached}",
+            failures,
+        )
+        _check(
+            partial.pipeline_report_.executed == ALL_STAGES[1:],
+            f"downstream stages re-ran: executed={partial.pipeline_report_.executed}",
+            failures,
+        )
+        reference = KGraph(**changed).fit_reference(dataset.data)
+        _check(
+            np.array_equal(partial.labels_, reference.labels_)
+            and np.array_equal(
+                partial.result_.consensus_matrix,
+                reference.result_.consensus_matrix,
+            )
+            and partial.result_.optimal_length == reference.result_.optimal_length,
+            "partially replayed fit is bit-identical to a cold reference fit",
+            failures,
+        )
+
+    if failures:
+        print(f"\npipeline resume smoke FAILED ({len(failures)} check(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\npipeline resume smoke passed: upstream stages skip, results stay bit-identical.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

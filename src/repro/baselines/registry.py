@@ -279,5 +279,5 @@ def run_method(
     """
     method = get_method(name)
     if n_clusters is None:
-        n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
+        n_clusters = dataset.default_cluster_count()
     return method.fit_predict(dataset, n_clusters, random_state=random_state)

@@ -74,7 +74,10 @@ class KGraphResult:
     graphoids:
         Mapping cluster -> λ-Graphoid and γ-Graphoid on the selected graph.
     timings:
-        Wall-clock seconds per pipeline stage.
+        Wall-clock seconds per timing section: the worker-side sections
+        (``graph_embedding``, ``graph_clustering``, ...) plus — for
+        pipeline-driven fits — one ``stage:<name>`` section per pipeline
+        stage (see :meth:`stage_timings`).
     """
 
     labels: np.ndarray
@@ -104,6 +107,21 @@ class KGraphResult:
                 return partition
         raise ValidationError(f"no partition for length {length}")
 
+    def stage_timings(self) -> Dict[str, float]:
+        """Per-pipeline-stage wall-clock seconds, in execution order.
+
+        Extracted from the ``stage:<name>`` Stopwatch sections the pipeline
+        records around each stage (including near-zero entries for stages
+        replayed from a cache).  Empty for models fitted by the retained
+        reference monolith or loaded from pre-pipeline artifacts.
+        """
+        prefix = "stage:"
+        return {
+            name[len(prefix):]: float(seconds)
+            for name, seconds in self.timings.items()
+            if name.startswith(prefix)
+        }
+
     def summary(self) -> Dict[str, object]:
         """JSON-serialisable run summary (Under-the-hood frame header)."""
         return {
@@ -124,6 +142,7 @@ class KGraphResult:
                 length: graph.summary() for length, graph in self.graphs.items()
             },
             "timings": dict(self.timings),
+            "stage_timings": self.stage_timings(),
         }
 
 
@@ -397,6 +416,24 @@ class KGraph:
         4-worker thread pool, ``backend="process"`` a process pool.  Results
         are bit-identical across backends for a fixed ``random_state`` —
         see :mod:`repro.parallel`.
+    stage_backends:
+        Optional per-stage backend overrides, mapping a pipeline stage name
+        (``embed``, ``graph_cluster``, ``consensus``, ``length_selection``,
+        ``interpretability``) to a backend name or
+        :class:`~repro.parallel.ExecutionBackend` instance — e.g.
+        ``{"embed": "shared"}`` runs only the per-length embedding fan-out
+        on the zero-copy shared-memory process pool.  Stages without an
+        override use ``backend``.
+    stage_cache:
+        Optional stage checkpoint store: a
+        :class:`~repro.pipeline.StageCache` instance (share one across fits
+        to reuse upstream stages over a parameter grid) or a directory path
+        (selects a :class:`~repro.pipeline.DiskStageCache` for
+        cross-session resume).  With a cache, a re-fit with one changed
+        parameter replays every stage whose content-addressed key is
+        unchanged and re-executes only the affected stages — results are
+        identical either way.  ``fit`` records what happened on
+        ``pipeline_report_``.
 
     Examples
     --------
@@ -423,6 +460,8 @@ class KGraph:
         random_state=None,
         backend: Union[None, str, ExecutionBackend] = None,
         n_jobs: Optional[int] = None,
+        stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
+        stage_cache=None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters", minimum=2)
         self.n_lengths = check_positive_int(n_lengths, "n_lengths")
@@ -443,9 +482,20 @@ class KGraph:
         self.random_state = random_state
         self.backend = backend
         self.n_jobs = n_jobs
+        if stage_backends is not None and not isinstance(stage_backends, dict):
+            raise ValidationError(
+                "stage_backends must be a dict mapping stage names to backends, "
+                f"got {type(stage_backends).__name__}"
+            )
+        self.stage_backends = stage_backends
+        self.stage_cache = stage_cache
 
         self.result_: Optional[KGraphResult] = None
         self.labels_: Optional[np.ndarray] = None
+        #: Per-stage ledger of the last pipeline-driven fit (cache keys,
+        #: cached-vs-executed flags, wall-clock seconds); ``None`` before
+        #: fitting, after :meth:`fit_reference`, and on loaded artifacts.
+        self.pipeline_report_ = None
 
     # ------------------------------------------------------------------ #
     def _resolve_lengths(self, series_length: int) -> List[int]:
@@ -459,16 +509,126 @@ class KGraph:
             return resolved
         return length_grid(series_length, self.n_lengths)
 
+    def validate_fit_input(self, data) -> np.ndarray:
+        """Validate training ``data`` and return it as a 2-D array.
+
+        The shared dataset checks give ``fit`` the same actionable failure
+        modes :meth:`validate_predict_input` gives ``predict``: ragged
+        inputs name the differing series lengths, NaN/infinite values are
+        located (series and position), and datasets with fewer series than
+        clusters or too-short series state the requirement in the message —
+        instead of letting the failure surface deep in the windowing code.
+        """
+        return check_time_series_dataset(
+            data, name="training data", min_series=self.n_clusters
+        )
+
     def fit(self, data) -> "KGraph":
-        """Run the full k-Graph pipeline on ``data`` (n_series x length)."""
-        array = check_time_series_dataset(data, min_series=self.n_clusters)
+        """Run the full k-Graph pipeline on ``data`` (n_series x length).
+
+        The fit is driven by the five-stage pipeline of
+        :mod:`repro.pipeline.kgraph_stages` (embed -> graph_cluster ->
+        consensus -> length_selection -> interpretability): results are
+        bit-identical to the retained :meth:`fit_reference` monolith, but
+        each stage is individually timeable, checkpointable
+        (``stage_cache=``) and dispatchable on its own backend
+        (``stage_backends=``).  The per-stage ledger of what ran versus
+        what was replayed lands on :attr:`pipeline_report_`.
+        """
+        array = self.validate_fit_input(data)
         rng = check_random_state(self.random_state)
+        # Imported lazily: the concrete stages import the sibling core
+        # modules, so a module-level import here would be circular.
+        from repro.pipeline import resolve_stage_cache, stage_backend_scope
+
+        cache = resolve_stage_cache(self.stage_cache)
         # Pooled workers of a backend we create here are released when the
         # fit ends; a caller-supplied backend instance stays open.
         with backend_scope(self.backend, self.n_jobs) as backend:
-            return self._fit_pipeline(array, rng, backend)
+            with stage_backend_scope(self.stage_backends, self.n_jobs) as per_stage:
+                return self._fit_via_pipeline(array, rng, backend, per_stage, cache)
 
-    def _fit_pipeline(
+    def _fit_via_pipeline(
+        self,
+        array: np.ndarray,
+        rng: np.random.Generator,
+        backend: ExecutionBackend,
+        stage_backends: Dict[str, ExecutionBackend],
+        cache,
+    ) -> "KGraph":
+        from repro.pipeline import (
+            KGRAPH_STAGE_NAMES,
+            PipelineContext,
+            build_kgraph_pipeline,
+            kgraph_pipeline_config,
+        )
+
+        unknown = sorted(set(stage_backends) - set(KGRAPH_STAGE_NAMES))
+        if unknown:
+            raise ValidationError(
+                f"unknown stage names in stage_backends: {unknown}; "
+                f"the k-Graph stages are {list(KGRAPH_STAGE_NAMES)}"
+            )
+        lengths = self._resolve_lengths(array.shape[1])
+        # Pre-spawn one child stream per length (plus one for the consensus
+        # step), exactly as the reference monolith does, so the stages stay
+        # deterministic no matter which backend runs them or which
+        # checkpoints are replayed.
+        child_rngs = spawn_rng(rng, len(lengths) + 1)
+        consensus_rng, per_length_rngs = child_rngs[0], child_rngs[1:]
+
+        pipeline = build_kgraph_pipeline()
+        ctx = PipelineContext(
+            config=kgraph_pipeline_config(
+                n_clusters=self.n_clusters,
+                stride=self.stride,
+                n_sectors=self.n_sectors,
+                feature_mode=self.feature_mode,
+                lambda_threshold=self.lambda_threshold,
+                gamma_threshold=self.gamma_threshold,
+            ),
+            values={
+                "array": array,
+                "lengths": lengths,
+                "per_length_rngs": list(per_length_rngs),
+                "consensus_rng": consensus_rng,
+            },
+            backend=backend,
+            stage_backends=stage_backends,
+        )
+        report = pipeline.run(ctx, cache=cache)
+
+        self.result_ = KGraphResult(
+            labels=ctx.values["labels"],
+            graphs=ctx.values["graphs"],
+            partitions=ctx.values["partitions"],
+            consensus_matrix=ctx.values["consensus_matrix"],
+            length_scores=ctx.values["length_scores"],
+            optimal_length=ctx.values["optimal_length"],
+            lambda_graphoids=ctx.values["lambda_graphoids"],
+            gamma_graphoids=ctx.values["gamma_graphoids"],
+            timings=ctx.watch.totals(),
+        )
+        self.labels_ = self.result_.labels
+        self.pipeline_report_ = report
+        return self
+
+    def fit_reference(self, data) -> "KGraph":
+        """Run the retained pre-pipeline monolith (the seed fit path).
+
+        Kept as the implementation the stage pipeline is equivalence-tested
+        against — the same idiom as the vectorized kernels' ``*_reference``
+        twins.  Labels, consensus matrix, graphs, partitions, scores and
+        graphoids are bit-identical to :meth:`fit` for a fixed
+        ``random_state``; only the timing sections differ (no ``stage:*``
+        entries) and :attr:`pipeline_report_` stays ``None``.
+        """
+        array = self.validate_fit_input(data)
+        rng = check_random_state(self.random_state)
+        with backend_scope(self.backend, self.n_jobs) as backend:
+            return self._fit_reference(array, rng, backend)
+
+    def _fit_reference(
         self, array: np.ndarray, rng: np.random.Generator, backend: ExecutionBackend
     ) -> "KGraph":
         watch = Stopwatch()
@@ -541,6 +701,7 @@ class KGraph:
             timings=watch.totals(),
         )
         self.labels_ = labels
+        self.pipeline_report_ = None
         return self
 
     def fit_predict(self, data) -> np.ndarray:

@@ -54,6 +54,16 @@ class ParallelExecutionError(ReproError, RuntimeError):
     """
 
 
+class PipelineError(ReproError, RuntimeError):
+    """Raised when a stage pipeline is malformed or a stage misbehaves.
+
+    Covers wiring problems detected before execution (a stage consuming a
+    value no earlier stage produces, two stages producing the same value)
+    and contract violations detected at run time (a stage returning outputs
+    it did not declare).
+    """
+
+
 class ArtifactError(ReproError, RuntimeError):
     """Raised when a model artifact cannot be saved, loaded, or validated.
 

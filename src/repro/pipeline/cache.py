@@ -1,0 +1,329 @@
+"""Content-addressed stage checkpoints: in-memory and on-disk caches.
+
+A :class:`~repro.pipeline.Pipeline` asks its cache for each stage's key
+before running it; a hit replays the checkpointed outputs and the stage is
+skipped entirely.  Keys are content-addressed (stage name + version +
+config subset + input fingerprints — see :mod:`repro.pipeline.fingerprint`),
+so a re-run with one changed parameter re-executes only the stages whose
+key actually changed, and everything downstream of them.
+
+Two implementations:
+
+* :class:`MemoryStageCache` — a bounded LRU for same-process reuse
+  (parameter grids, repeated fits in a service).
+* :class:`DiskStageCache` — a directory of checkpoint files for
+  cross-process / cross-session resume (``graphint pipeline run --resume``).
+  Entries are written atomically (payload first, then the JSON meta record
+  as the commit marker — the same crash-safety idiom as the model-artifact
+  manifest), and the payload format is pickle: the cache is a *local,
+  trusted* checkpoint store scoped to one machine and one library version,
+  not an exchange format like :mod:`repro.serve.artifacts`.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import pickle
+import tempfile
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import PipelineError
+from repro.utils.validation import check_positive_int
+
+
+def _clone_generators(value: object) -> object:
+    """Deep-copy every :class:`numpy.random.Generator` inside ``value``.
+
+    Checkpointed outputs are otherwise stored and replayed *by reference*
+    (stages treat their inputs as read-only), but generators are the one
+    output a downstream stage legitimately mutates by drawing from them.
+    Snapshotting them on ``put`` and handing out fresh copies on ``get``
+    keeps every replay starting from the pristine stream position — the
+    disk cache gets this for free from its pickle round-trip.  Containers
+    are rebuilt only along paths that actually hold a generator, so arrays
+    and graphs are never copied.
+    """
+    if isinstance(value, np.random.Generator):
+        return copy.deepcopy(value)
+    if isinstance(value, dict):
+        cloned = {key: _clone_generators(item) for key, item in value.items()}
+        if all(cloned[key] is value[key] for key in value):
+            return value
+        return cloned
+    if isinstance(value, (list, tuple)):
+        cloned_items = [_clone_generators(item) for item in value]
+        if all(new is old for new, old in zip(cloned_items, value)):
+            return value
+        return type(value)(cloned_items)
+    return value
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class CacheEntryMeta:
+    """Descriptive record kept next to each checkpoint (for ``inspect``)."""
+
+    key: str
+    stage: str
+    outputs: List[str] = field(default_factory=list)
+    seconds: float = 0.0
+    created_unix: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "stage": self.stage,
+            "outputs": list(self.outputs),
+            "seconds": float(self.seconds),
+            "created_unix": float(self.created_unix),
+        }
+
+
+class StageCache(ABC):
+    """Checkpoint store the pipeline consults before running each stage."""
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @abstractmethod
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Return the checkpointed outputs for ``key``, or ``None``."""
+
+    @abstractmethod
+    def put(self, key: str, outputs: Dict[str, object], meta: CacheEntryMeta) -> None:
+        """Checkpoint ``outputs`` under ``key``."""
+
+    @abstractmethod
+    def entries(self) -> List[CacheEntryMeta]:
+        """Describe every stored checkpoint (newest last)."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every checkpoint (stats are kept)."""
+
+
+class MemoryStageCache(StageCache):
+    """A bounded in-process LRU of stage checkpoints.
+
+    Outputs are stored by reference (no copy): stages treat their inputs as
+    read-only, the same contract the shared-memory backend already imposes
+    on jobs, so replaying a reference is safe and free.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        super().__init__()
+        self.max_entries = check_positive_int(max_entries, "max_entries")
+        self._entries: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._meta: Dict[str, CacheEntryMeta] = {}
+        self._lock = Lock()
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            if key not in self._entries:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return {
+                name: _clone_generators(value)
+                for name, value in self._entries[key].items()
+            }
+
+    def put(self, key: str, outputs: Dict[str, object], meta: CacheEntryMeta) -> None:
+        with self._lock:
+            self._entries[key] = {
+                name: _clone_generators(value) for name, value in outputs.items()
+            }
+            self._entries.move_to_end(key)
+            self._meta[key] = meta
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                evicted, _ = self._entries.popitem(last=False)
+                self._meta.pop(evicted, None)
+                self.stats.evictions += 1
+
+    def entries(self) -> List[CacheEntryMeta]:
+        with self._lock:
+            return [self._meta[key] for key in self._entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._meta.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class DiskStageCache(StageCache):
+    """A directory of stage checkpoints for cross-session resume.
+
+    Layout: one ``<key>.pkl`` payload plus one ``<key>.json`` meta record
+    per checkpoint.  The meta record is written last via tmp+rename — it is
+    the entry's commit marker, so a crash mid-write leaves an orphan
+    payload that is ignored (and overwritten) rather than a half-readable
+    checkpoint.
+    """
+
+    PAYLOAD_SUFFIX = ".pkl"
+    META_SUFFIX = ".json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        super().__init__()
+        self.directory = Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise PipelineError(
+                f"stage cache path {self.directory} exists and is not a directory"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def _payload_path(self, key: str) -> Path:
+        return self.directory / f"{key}{self.PAYLOAD_SUFFIX}"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.directory / f"{key}{self.META_SUFFIX}"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        meta_path = self._meta_path(key)
+        payload_path = self._payload_path(key)
+        if not (meta_path.exists() and payload_path.exists()):
+            self.stats.misses += 1
+            return None
+        try:
+            with payload_path.open("rb") as handle:
+                outputs = pickle.load(handle)
+        except Exception:  # noqa: BLE001 - a corrupt checkpoint is a miss
+            # A checkpoint that cannot be replayed must never poison the
+            # run; the stage simply re-executes and overwrites it.
+            self.stats.misses += 1
+            return None
+        if not isinstance(outputs, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return outputs
+
+    def put(self, key: str, outputs: Dict[str, object], meta: CacheEntryMeta) -> None:
+        # Unique tmp names (mkstemp): two processes sharing the directory
+        # may store the same key concurrently, and a fixed tmp path would
+        # let one writer truncate the other's half-written bytes and then
+        # commit a corrupt payload behind a valid meta marker.
+        self._write_atomic(
+            self._payload_path(key), lambda handle: pickle.dump(dict(outputs), handle, protocol=4)
+        )
+        meta_bytes = json.dumps(meta.as_dict(), indent=2, sort_keys=True).encode("utf-8")
+        self._write_atomic(self._meta_path(key), lambda handle: handle.write(meta_bytes))
+        self.stats.stores += 1
+
+    def _write_atomic(self, path: Path, write) -> None:
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=self.directory
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                write(handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> List[CacheEntryMeta]:
+        records: List[CacheEntryMeta] = []
+        for meta_path in sorted(self.directory.glob(f"*{self.META_SUFFIX}")):
+            try:
+                with meta_path.open("r", encoding="utf-8") as handle:
+                    raw = json.load(handle)
+                if str(raw["key"]) != meta_path.stem:
+                    continue  # foreign JSON file, not a checkpoint we wrote
+                records.append(
+                    CacheEntryMeta(
+                        key=str(raw["key"]),
+                        stage=str(raw["stage"]),
+                        outputs=[str(name) for name in raw.get("outputs", [])],
+                        seconds=float(raw.get("seconds", 0.0)),
+                        created_unix=float(raw.get("created_unix", 0.0)),
+                    )
+                )
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                continue  # orphan/corrupt meta: not a committed entry
+        records.sort(key=lambda record: record.created_unix)
+        return records
+
+    def clear(self) -> None:
+        """Drop every *committed* checkpoint plus leftover tmp files.
+
+        Deliberately conservative: only `<key>.pkl` / `<key>.json` pairs
+        whose meta record parses and names its own file stem are removed,
+        so pointing a cache at a directory that also holds unrelated
+        ``.json`` / ``.pkl`` files (a results folder, a repo root) never
+        deletes anything that is not a checkpoint this class wrote.
+        """
+        for entry in self.entries():
+            for path in (self._payload_path(entry.key), self._meta_path(entry.key)):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        for leftover in self.directory.glob("*.tmp"):
+            name = leftover.name
+            if f"{self.PAYLOAD_SUFFIX}." in name or f"{self.META_SUFFIX}." in name:
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+
+def resolve_stage_cache(
+    cache: Union[None, str, Path, StageCache]
+) -> Optional[StageCache]:
+    """Normalise the ``stage_cache=`` argument every pipeline API accepts.
+
+    ``None`` disables checkpointing, a path selects a
+    :class:`DiskStageCache` rooted there, and a :class:`StageCache`
+    instance is used as-is (shared instances are how a parameter grid
+    reuses upstream stages across fits).
+    """
+    if cache is None:
+        return None
+    if isinstance(cache, StageCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return DiskStageCache(cache)
+    raise PipelineError(
+        f"stage_cache must be None, a directory path, or a StageCache, "
+        f"got {type(cache).__name__}"
+    )

@@ -1,0 +1,223 @@
+"""The :class:`Pipeline` executor: a validated DAG of cacheable stages.
+
+``Pipeline.run`` executes its stages in declaration order (which the
+constructor proves is a valid topological order of the declared
+input/output dependencies), timing each stage under ``stage:<name>`` and —
+when a :class:`~repro.pipeline.cache.StageCache` is supplied — replaying
+checkpointed outputs instead of re-executing stages whose content-addressed
+key is unchanged.  The returned :class:`PipelineReport` records, per stage,
+the cache key, whether it executed or replayed, and its wall-clock seconds;
+the report is what tests assert resumability against and what the serving
+manifest embeds (schema v2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import PipelineError
+from repro.pipeline.cache import CacheEntryMeta, StageCache
+from repro.pipeline.fingerprint import fingerprint
+from repro.pipeline.stage import PipelineContext, Stage
+
+
+@dataclass
+class StageRecord:
+    """What one stage did during one :meth:`Pipeline.run`."""
+
+    name: str
+    key: str
+    cached: bool
+    seconds: float
+    outputs: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "key": self.key,
+            "cached": self.cached,
+            "seconds": float(self.seconds),
+            "outputs": list(self.outputs),
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage outcome of one pipeline run (the resumability ledger)."""
+
+    records: List[StageRecord] = field(default_factory=list)
+    config_hash: str = ""
+
+    @property
+    def executed(self) -> List[str]:
+        """Names of the stages that actually ran."""
+        return [record.name for record in self.records if not record.cached]
+
+    @property
+    def cached(self) -> List[str]:
+        """Names of the stages replayed from the cache."""
+        return [record.name for record in self.records if record.cached]
+
+    @property
+    def stage_keys(self) -> Dict[str, str]:
+        """Mapping stage name -> content-addressed cache key."""
+        return {record.name: record.key for record in self.records}
+
+    def record_for(self, name: str) -> StageRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise PipelineError(f"no stage named {name!r} in this report")
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (embedded in the model-artifact manifest)."""
+        return {
+            "config_hash": self.config_hash,
+            "stages": [record.as_dict() for record in self.records],
+        }
+
+
+class Pipeline:
+    """An ordered DAG of :class:`Stage` objects with checkpoint/resume.
+
+    The constructor validates the wiring once:
+
+    * stage names are unique;
+    * no two stages produce the same value;
+    * every stage input is either a seed value (named in ``seed_inputs``)
+      or the output of an *earlier* stage — i.e. the declaration order is a
+      topological order of the dependency DAG.
+
+    ``run`` then never needs to guess: a malformed pipeline fails at
+    construction, not three stages into an expensive fit.
+    """
+
+    def __init__(self, stages: Sequence[Stage], *, seed_inputs: Sequence[str] = ()) -> None:
+        stages = list(stages)
+        if not stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate stage names: {sorted(names)}")
+        available = set(seed_inputs)
+        for stage in stages:
+            missing = [name for name in stage.inputs if name not in available]
+            if missing:
+                raise PipelineError(
+                    f"stage {stage.name!r} consumes {missing} but no earlier "
+                    f"stage or seed input produces them (available: "
+                    f"{sorted(available)})"
+                )
+            clashes = [name for name in stage.outputs if name in available]
+            if clashes:
+                raise PipelineError(
+                    f"stage {stage.name!r} re-produces already available "
+                    f"values {clashes}; every value must have one producer"
+                )
+            available.update(stage.outputs)
+        self.stages = stages
+        self.seed_inputs = tuple(seed_inputs)
+        #: Total executions per stage name across every run of this
+        #: instance (cache replays are *not* counted — these are the
+        #: stage-run counters the resume tests assert on).
+        self.run_counts: Dict[str, int] = {name: 0 for name in names}
+
+    # ------------------------------------------------------------------ #
+    def stage_key(
+        self,
+        stage: Stage,
+        ctx: PipelineContext,
+        _fingerprint: "Callable[[object], str]" = fingerprint,
+    ) -> str:
+        """Content-addressed cache key of ``stage`` in the current context."""
+        digest = hashlib.sha256()
+        digest.update(f"stage:{stage.name}:v{stage.version};".encode())
+        for key in stage.config_keys:
+            digest.update(f"config:{key}=".encode())
+            digest.update(fingerprint(ctx.config.get(key)).encode())
+        for name in stage.inputs:
+            digest.update(f"input:{name}=".encode())
+            digest.update(_fingerprint(ctx.require(name)).encode())
+        return digest.hexdigest()
+
+    def run(
+        self, ctx: PipelineContext, *, cache: Optional[StageCache] = None
+    ) -> PipelineReport:
+        """Execute every stage (or replay its checkpoint) and report."""
+        missing_seed = [name for name in self.seed_inputs if name not in ctx.values]
+        if missing_seed:
+            raise PipelineError(
+                f"pipeline seed inputs {missing_seed} are missing from the context"
+            )
+        report = PipelineReport(
+            config_hash=fingerprint(
+                {key: ctx.config.get(key) for stage in self.stages for key in stage.config_keys}
+            )
+        )
+        # Per-run fingerprint memo: a value consumed by several stages (the
+        # graphs feed graph_cluster, length_selection AND interpretability)
+        # is hashed once, not once per consumer.  Keyed by object identity —
+        # sound because stages treat context values as read-only and the
+        # stored reference pins the id for the run's lifetime.
+        memo: Dict[int, tuple] = {}
+
+        def _memoised_fingerprint(value: object) -> str:
+            entry = memo.get(id(value))
+            if entry is not None and entry[0] is value:
+                return entry[1]
+            digest = fingerprint(value)
+            memo[id(value)] = (value, digest)
+            return digest
+
+        for stage in self.stages:
+            key = self.stage_key(stage, ctx, _memoised_fingerprint)
+            start = time.perf_counter()
+            cached_outputs = cache.get(key) if cache is not None else None
+            if cached_outputs is not None:
+                with ctx.watch.section(f"stage:{stage.name}"):
+                    ctx.values.update(cached_outputs)
+                report.records.append(
+                    StageRecord(
+                        name=stage.name,
+                        key=key,
+                        cached=True,
+                        seconds=time.perf_counter() - start,
+                        outputs=sorted(cached_outputs),
+                    )
+                )
+                continue
+            with ctx.watch.section(f"stage:{stage.name}"):
+                outputs = dict(stage.run(ctx))
+            if set(outputs) != set(stage.outputs):
+                raise PipelineError(
+                    f"stage {stage.name!r} returned outputs {sorted(outputs)} "
+                    f"but declared {sorted(stage.outputs)}"
+                )
+            ctx.values.update(outputs)
+            self.run_counts[stage.name] += 1
+            seconds = time.perf_counter() - start
+            if cache is not None:
+                cache.put(
+                    key,
+                    outputs,
+                    CacheEntryMeta(
+                        key=key,
+                        stage=stage.name,
+                        outputs=sorted(outputs),
+                        seconds=seconds,
+                        created_unix=time.time(),
+                    ),
+                )
+            report.records.append(
+                StageRecord(
+                    name=stage.name,
+                    key=key,
+                    cached=False,
+                    seconds=seconds,
+                    outputs=sorted(outputs),
+                )
+            )
+        return report

@@ -1,0 +1,138 @@
+"""The :class:`Stage` contract and the context a pipeline threads through it.
+
+A stage is one resumable unit of a :class:`~repro.pipeline.Pipeline`: it
+declares which context values it consumes (``inputs``), which it produces
+(``outputs``), and which configuration entries change its behaviour
+(``config_keys``).  Those declarations are the whole caching contract — a
+stage's cache key is derived from exactly its config subset plus the
+fingerprints of its declared inputs, so a parameter that a stage does not
+list cannot invalidate its checkpoint.
+
+Design rules every stage must follow:
+
+* ``run(ctx)`` must be a pure function of its declared inputs and config
+  subset: same inputs, same outputs (bit-identical).  Randomness must come
+  from a generator passed *through the context*, never from global state,
+  so the generator's stream position participates in the cache key.
+* Fan-outs inside a stage go through ``ctx.backend_for(self.name)`` so the
+  execution backend stays selectable per stage (``stage_backends=``).
+* Worker-side timings are merged into ``ctx.watch`` — the pipeline adds its
+  own ``stage:<name>`` wall-clock section around each run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import PipelineError
+from repro.parallel import ExecutionBackend, SerialBackend, resolve_backend
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class PipelineContext:
+    """Everything a pipeline run threads between stages.
+
+    Attributes
+    ----------
+    config:
+        Flat mapping of configuration entries; each stage sees only the
+        subset named by its ``config_keys``.
+    values:
+        The data plane: seed values placed by the driver plus every stage
+        output, keyed by the names the stages declare.
+    backend:
+        Default :class:`~repro.parallel.ExecutionBackend` for stage
+        fan-outs.
+    stage_backends:
+        Per-stage overrides (stage name -> backend); resolved instances,
+        lifetime owned by the caller (see :func:`stage_backend_scope`).
+    watch:
+        Stopwatch accumulating both worker-side sections (merged by the
+        stages) and the pipeline's ``stage:<name>`` wall-clock sections.
+    """
+
+    config: Dict[str, object] = field(default_factory=dict)
+    values: Dict[str, object] = field(default_factory=dict)
+    backend: ExecutionBackend = field(default_factory=SerialBackend)
+    stage_backends: Dict[str, ExecutionBackend] = field(default_factory=dict)
+    watch: Stopwatch = field(default_factory=Stopwatch)
+
+    def backend_for(self, stage_name: str) -> ExecutionBackend:
+        """The backend a stage's fan-out must dispatch through."""
+        return self.stage_backends.get(stage_name, self.backend)
+
+    def require(self, name: str) -> object:
+        """Fetch a context value, failing loudly when it is absent."""
+        if name not in self.values:
+            raise PipelineError(
+                f"context value {name!r} is not available; produced values: "
+                f"{sorted(self.values)}"
+            )
+        return self.values[name]
+
+
+class Stage(ABC):
+    """One named, cacheable, resumable step of a :class:`Pipeline`.
+
+    Class attributes
+    ----------------
+    name:
+        Unique stage identifier (also the ``stage:<name>`` timing section
+        and the ``--stage-backend <name>=...`` CLI key).
+    inputs / outputs:
+        Context value names consumed / produced.  ``run`` must return a
+        mapping with exactly the ``outputs`` keys.
+    config_keys:
+        Configuration entries that affect this stage's behaviour; part of
+        the cache key.
+    version:
+        Bump when the stage's implementation changes behaviour, so stale
+        disk checkpoints from older code are never reused.
+    """
+
+    name: str = "abstract"
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    config_keys: Tuple[str, ...] = ()
+    version: int = 1
+
+    @abstractmethod
+    def run(self, ctx: PipelineContext) -> Mapping[str, object]:
+        """Execute the stage and return its declared outputs."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(name={self.name!r}, inputs={self.inputs}, "
+            f"outputs={self.outputs})"
+        )
+
+
+@contextmanager
+def stage_backend_scope(
+    stage_backends: Optional[Mapping[str, Union[None, str, ExecutionBackend]]],
+    n_jobs: Optional[int] = None,
+) -> Iterator[Dict[str, ExecutionBackend]]:
+    """Resolve a ``{stage name: backend spec}`` mapping for one pipeline run.
+
+    Backend *names* are resolved to fresh instances whose pooled workers are
+    released when the scope exits; caller-supplied
+    :class:`~repro.parallel.ExecutionBackend` instances pass through
+    untouched and stay open (mirroring
+    :func:`repro.parallel.backend_scope`).
+    """
+    resolved: Dict[str, ExecutionBackend] = {}
+    owned = []
+    try:
+        for stage_name, spec in (stage_backends or {}).items():
+            backend = resolve_backend(spec, None if isinstance(spec, ExecutionBackend) else n_jobs)
+            resolved[str(stage_name)] = backend
+            if backend is not spec:
+                owned.append(backend)
+        yield resolved
+    finally:
+        for backend in owned:
+            backend.close()

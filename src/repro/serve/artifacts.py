@@ -41,7 +41,11 @@ from repro.graph.structure import TimeSeriesGraph
 from repro.utils.schema import check_schema_version
 
 ARTIFACT_FORMAT = "kgraph-model"
-ARTIFACT_SCHEMA_VERSION = 1
+#: v2 adds the optional ``pipeline`` manifest field: the stage pipeline's
+#: config hash plus the per-stage content-addressed cache keys of the fit
+#: that produced the model (``None`` for reference-monolith fits).  Readers
+#: accept v1 artifacts unchanged — the field is simply absent.
+ARTIFACT_SCHEMA_VERSION = 2
 
 MANIFEST_FILE = "manifest.json"
 ARRAYS_FILE = "arrays.npz"
@@ -207,6 +211,15 @@ def save_model(
             ],
         },
         "timings": {name: float(value) for name, value in result.timings.items()},
+        # Schema v2: the provenance ledger of the pipeline-driven fit — which
+        # stages ran vs replayed, their content-addressed keys, and the
+        # config hash — so registries can tell two models apart (or dedup
+        # them) without loading the payloads.
+        "pipeline": (
+            model.pipeline_report_.as_dict()
+            if model.pipeline_report_ is not None
+            else None
+        ),
         "metadata": dict(metadata) if metadata else {},
     }
 

@@ -86,6 +86,15 @@ class TimeSeriesDataset:
         """Whether ground-truth labels are available."""
         return self.labels is not None
 
+    def default_cluster_count(self, fallback: int = 3) -> int:
+        """Default ``k`` for estimators run on this dataset.
+
+        The labelled class count when the dataset carries a usable ground
+        truth (>= 2 classes), else ``fallback`` — the single defaulting
+        rule shared by the CLI, the benchmark harness and the baselines.
+        """
+        return self.n_classes if self.n_classes >= 2 else int(fallback)
+
     def class_counts(self) -> Dict[int, int]:
         """Return a mapping from class label to number of series."""
         if self.labels is None:

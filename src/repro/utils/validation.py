@@ -65,6 +65,30 @@ def check_probability(value: float, name: str, *, inclusive: bool = True) -> flo
     return value
 
 
+def _ragged_row_lengths(data) -> Optional[list]:
+    """Distinct row lengths of a sequence-of-sequences, or ``None``.
+
+    Used to turn the opaque "could not broadcast" conversion failure of a
+    ragged dataset into an actionable message naming the offending lengths.
+    """
+    if isinstance(data, np.ndarray) or isinstance(data, (str, bytes)):
+        return None
+    try:
+        rows = list(data)
+    except TypeError:
+        return None
+    lengths = set()
+    for row in rows:
+        if isinstance(row, (str, bytes)):
+            return None
+        try:
+            lengths.add(len(row))
+        except TypeError:
+            return None
+    distinct = sorted(lengths)
+    return distinct if len(distinct) > 1 else None
+
+
 def check_array(
     data: ArrayLike,
     *,
@@ -86,12 +110,31 @@ def check_array(
     min_rows, min_cols:
         Minimum size along the first / second axis (second only if 2-D).
     allow_nan:
-        When ``False`` (default) any NaN or infinite value is rejected.
+        When ``False`` (default) any NaN or infinite value is rejected
+        with a message locating the first offending value.
     """
     try:
         array = np.asarray(data, dtype=dtype)
     except (TypeError, ValueError) as exc:
+        ragged = _ragged_row_lengths(data)
+        if ragged is not None:
+            raise ValidationError(
+                f"{name} is ragged: series have differing lengths "
+                f"{ragged[:8]}; every series must share one length "
+                "(truncate or pad the data before fitting)"
+            ) from exc
         raise ValidationError(f"{name} could not be converted to a numeric array: {exc}") from exc
+    if array.dtype == object:
+        # Older NumPy built an object array from ragged input instead of
+        # raising; normalise both eras to the same actionable error.
+        ragged = _ragged_row_lengths(data)
+        if ragged is not None:
+            raise ValidationError(
+                f"{name} is ragged: series have differing lengths "
+                f"{ragged[:8]}; every series must share one length "
+                "(truncate or pad the data before fitting)"
+            )
+        raise ValidationError(f"{name} could not be converted to a numeric array")
 
     if array.ndim == 0:
         raise ValidationError(f"{name} must be at least 1-dimensional, got a scalar")
@@ -109,8 +152,20 @@ def check_array(
             f"{name} must have at least {min_cols} columns, got {array.shape[1]}"
         )
 
-    if not allow_nan and not np.all(np.isfinite(array)):
-        raise ValidationError(f"{name} contains NaN or infinite values")
+    if not allow_nan:
+        finite = np.isfinite(array)
+        if not finite.all():
+            bad = np.argwhere(~finite)
+            first = bad[0]
+            where = (
+                f"series {int(first[0])}, position {int(first[1])}"
+                if array.ndim == 2
+                else f"position {int(first[0])}"
+            )
+            raise ValidationError(
+                f"{name} contains {int(bad.shape[0])} NaN or infinite "
+                f"value(s) (first at {where}); clean or impute the data first"
+            )
     return np.ascontiguousarray(array)
 
 

@@ -14,6 +14,12 @@ Sub-commands:
   servable model artifact (or publish it with ``--registry DIR``)
 * ``graphint import-model ARTIFACT --registry DIR`` — copy an existing
   artifact into a registry
+* ``graphint pipeline run --dataset NAME --cache DIR`` — run the staged
+  k-Graph pipeline with checkpointing; ``--resume`` replays unchanged
+  stages from the cache, ``--stage-backend embed=shared`` picks a backend
+  per stage
+* ``graphint pipeline inspect --cache DIR`` — list the checkpoints of a
+  pipeline cache directory
 """
 
 from __future__ import annotations
@@ -128,6 +134,45 @@ def _build_parser() -> argparse.ArgumentParser:
     import_model.add_argument("--registry", required=True)
     import_model.add_argument("--dataset", default=None, help="override the dataset recorded in the manifest")
     import_model.add_argument("--model-id", default=None)
+
+    pipeline = subparsers.add_parser(
+        "pipeline", help="run or inspect the staged k-Graph pipeline"
+    )
+    pipeline_sub = pipeline.add_subparsers(dest="pipeline_command", required=True)
+
+    pipeline_run = pipeline_sub.add_parser(
+        "run", help="fit k-Graph through the checkpointed stage pipeline"
+    )
+    pipeline_run.add_argument("--dataset", default="cylinder_bell_funnel")
+    pipeline_run.add_argument("--clusters", type=int, default=None)
+    pipeline_run.add_argument("--lengths", type=int, default=4, help="number of subsequence lengths")
+    pipeline_run.add_argument("--seed", type=int, default=0)
+    pipeline_run.add_argument(
+        "--cache",
+        default=None,
+        help="stage checkpoint directory (created if needed); omit to run "
+        "without checkpointing",
+    )
+    pipeline_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay unchanged stages from --cache instead of clearing it first",
+    )
+    pipeline_run.add_argument(
+        "--stage-backend",
+        action="append",
+        default=None,
+        metavar="STAGE=BACKEND",
+        help="per-stage backend override, e.g. 'embed=shared' (repeatable); "
+        "stages: embed, graph_cluster, consensus, length_selection, "
+        "interpretability",
+    )
+    _add_parallel_arguments(pipeline_run)
+
+    pipeline_inspect = pipeline_sub.add_parser(
+        "inspect", help="list the checkpoints of a pipeline cache directory"
+    )
+    pipeline_inspect.add_argument("--cache", required=True, help="stage checkpoint directory")
     return parser
 
 
@@ -239,7 +284,7 @@ def _cmd_export_model(args: argparse.Namespace) -> int:
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
     n_clusters = args.clusters
     if n_clusters is None:
-        n_clusters = dataset.n_classes if dataset.n_classes >= 2 else 3
+        n_clusters = dataset.default_cluster_count()
     model = KGraph(
         n_clusters,
         n_lengths=args.lengths,
@@ -272,6 +317,111 @@ def _cmd_import_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stage_backends(entries) -> dict:
+    """Parse repeated ``--stage-backend STAGE=BACKEND`` options."""
+    from repro.pipeline import KGRAPH_STAGE_NAMES
+
+    overrides = {}
+    for entry in entries or []:
+        stage, separator, backend = entry.partition("=")
+        stage = stage.strip()
+        backend = backend.strip()
+        if not separator or not stage or not backend:
+            raise ValueError(
+                f"--stage-backend expects STAGE=BACKEND, got {entry!r}"
+            )
+        if stage not in KGRAPH_STAGE_NAMES:
+            raise ValueError(
+                f"unknown stage {stage!r} in --stage-backend; stages: "
+                f"{', '.join(KGRAPH_STAGE_NAMES)}"
+            )
+        overrides[stage] = backend
+    return overrides
+
+
+def _cmd_pipeline_run(args: argparse.Namespace) -> int:
+    from repro.core.kgraph import KGraph
+    from repro.pipeline import DiskStageCache
+
+    try:
+        stage_backends = _parse_stage_backends(args.stage_backend)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    n_clusters = args.clusters
+    if n_clusters is None:
+        n_clusters = dataset.default_cluster_count()
+
+    cache = None
+    if args.cache is not None:
+        cache = DiskStageCache(args.cache)
+        if not args.resume:
+            # A fresh run must not silently replay stale checkpoints from a
+            # previous configuration; --resume is the explicit opt-in.
+            cache.clear()
+    elif args.resume:
+        print("--resume requires --cache DIR", file=sys.stderr)
+        return 2
+
+    model = KGraph(
+        n_clusters,
+        n_lengths=args.lengths,
+        random_state=args.seed,
+        backend=args.backend,
+        n_jobs=args.jobs,
+        stage_backends=stage_backends or None,
+        stage_cache=cache,
+    ).fit(dataset.data)
+
+    report = model.pipeline_report_
+    print(f"dataset            : {dataset.name} ({dataset.n_series} x {dataset.length})")
+    print(f"clusters (k)       : {model.n_clusters}")
+    print(f"optimal length     : {model.optimal_length_}")
+    if dataset.labels is not None:
+        ari = adjusted_rand_index(dataset.labels, model.labels_)
+        print(f"ARI                : {ari:.3f}")
+    print()
+    print(f"{'stage':<18} {'status':<8} {'seconds':>9}  key")
+    for record in report.records:
+        status = "cached" if record.cached else "ran"
+        print(
+            f"{record.name:<18} {status:<8} {record.seconds:>9.4f}  {record.key[:12]}"
+        )
+    if cache is not None:
+        print(f"\ncheckpoints in {Path(args.cache).resolve()}: {len(cache.entries())}")
+        if not args.resume:
+            print("re-run with --resume to replay unchanged stages")
+    return 0
+
+
+def _cmd_pipeline_inspect(args: argparse.Namespace) -> int:
+    from repro.pipeline import DiskStageCache
+
+    directory = Path(args.cache)
+    if not directory.is_dir():
+        print(f"no pipeline cache at {directory.resolve()}", file=sys.stderr)
+        return 2
+    entries = DiskStageCache(directory).entries()
+    if not entries:
+        print(f"no checkpoints in {directory.resolve()}")
+        return 0
+    print(f"{'stage':<18} {'key':<14} {'seconds':>9}  outputs")
+    for entry in entries:
+        print(
+            f"{entry.stage:<18} {entry.key[:12]:<14} {entry.seconds:>9.4f}  "
+            f"{', '.join(entry.outputs)}"
+        )
+    print(f"\n{len(entries)} checkpoint(s) in {directory.resolve()}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    if args.pipeline_command == "run":
+        return _cmd_pipeline_run(args)
+    return _cmd_pipeline_inspect(args)
+
+
 def _cmd_quiz(args: argparse.Namespace) -> int:
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
     session = GraphintSession(dataset, random_state=args.seed).fit()
@@ -293,6 +443,7 @@ _COMMANDS = {
     "quiz": _cmd_quiz,
     "export-model": _cmd_export_model,
     "import-model": _cmd_import_model,
+    "pipeline": _cmd_pipeline,
 }
 
 

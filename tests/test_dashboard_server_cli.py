@@ -246,6 +246,59 @@ class TestCLI:
         assert cli.main(["export-model", "--dataset", "cbf_small"]) == 2
         assert "exactly one of" in capsys.readouterr().err
 
+    def test_pipeline_run_and_inspect_commands(self, capsys, monkeypatch, tmp_path):
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        cache_dir = tmp_path / "stage-cache"
+        base = [
+            "pipeline", "run",
+            "--dataset", "cbf_small",
+            "--lengths", "2",
+            "--cache", str(cache_dir),
+        ]
+        assert cli.main(base) == 0
+        output = capsys.readouterr().out
+        assert "embed" in output and "ran" in output
+        assert "re-run with --resume" in output
+
+        # Resuming replays every stage from the checkpoints.
+        assert cli.main(base + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "cached" in output and "ran" not in output.split("status")[1]
+
+        assert cli.main(["pipeline", "inspect", "--cache", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "graph_cluster" in output and "5 checkpoint(s)" in output
+
+    def test_pipeline_run_stage_backend_validation(self, capsys, monkeypatch):
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        assert (
+            cli.main(
+                ["pipeline", "run", "--dataset", "cbf_small", "--stage-backend", "bogus=thread"]
+            )
+            == 2
+        )
+        assert "unknown stage" in capsys.readouterr().err
+        assert (
+            cli.main(["pipeline", "run", "--dataset", "cbf_small", "--stage-backend", "embed"])
+            == 2
+        )
+        assert "STAGE=BACKEND" in capsys.readouterr().err
+
+    def test_pipeline_resume_requires_cache(self, capsys, monkeypatch):
+        import repro.viz.cli as cli
+
+        monkeypatch.setattr(cli, "default_catalogue", _small_catalogue)
+        assert cli.main(["pipeline", "run", "--dataset", "cbf_small", "--resume"]) == 2
+        assert "--resume requires --cache" in capsys.readouterr().err
+
+    def test_pipeline_inspect_missing_directory(self, capsys, tmp_path):
+        assert cli_main(["pipeline", "inspect", "--cache", str(tmp_path / "nope")]) == 2
+        assert "no pipeline cache" in capsys.readouterr().err
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             cli_main(["unknown-command"])

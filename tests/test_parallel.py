@@ -422,5 +422,6 @@ def test_custom_backend_instance_is_used(small_dataset):
     KGraph(n_clusters=3, n_lengths=2, random_state=7, backend=backend).fit(
         small_dataset.data
     )
-    # per-length fit + interpretability scores + graphoid extraction
-    assert backend.calls == 3
+    # per-length embedding + per-length clustering (separate pipeline
+    # stages) + interpretability scores + graphoid extraction
+    assert backend.calls == 4

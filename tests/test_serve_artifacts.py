@@ -113,6 +113,47 @@ class TestManifest:
         assert read_manifest(path)["params"]["random_state"] is None
         assert load_model(path).random_state is None
 
+    def test_pipeline_provenance_recorded(self, artifact_dir, fitted_kgraph):
+        # Schema v2: the manifest carries the stage pipeline's ledger.
+        manifest = read_manifest(artifact_dir)
+        assert manifest["schema_version"] >= 2
+        pipeline = manifest["pipeline"]
+        assert pipeline["config_hash"]
+        assert [stage["name"] for stage in pipeline["stages"]] == [
+            "embed",
+            "graph_cluster",
+            "consensus",
+            "length_selection",
+            "interpretability",
+        ]
+        expected = fitted_kgraph.pipeline_report_.stage_keys
+        for stage in pipeline["stages"]:
+            assert stage["key"] == expected[stage["name"]]
+            assert isinstance(stage["cached"], bool)
+            assert stage["seconds"] >= 0.0
+
+    def test_reference_fit_records_no_pipeline(self, small_dataset, tmp_path):
+        model = KGraph(n_clusters=3, n_lengths=2, random_state=0).fit_reference(
+            small_dataset.data
+        )
+        path = save_model(model, tmp_path / "m")
+        assert read_manifest(path)["pipeline"] is None
+
+    def test_v1_artifact_without_pipeline_field_still_loads(
+        self, artifact_dir, fitted_kgraph, fresh_series
+    ):
+        # Backward compatibility: a pre-pipeline (schema v1) artifact has no
+        # "pipeline" manifest field and must load and predict identically.
+        manifest = read_manifest(artifact_dir)
+        manifest["schema_version"] = 1
+        del manifest["pipeline"]
+        (artifact_dir / "manifest.json").write_text(json.dumps(manifest))
+        loaded = load_model(artifact_dir)
+        assert loaded.pipeline_report_ is None
+        assert np.array_equal(
+            loaded.predict(fresh_series), fitted_kgraph.predict(fresh_series)
+        )
+
 
 class TestValidation:
     def test_unfitted_model_is_rejected(self, tmp_path):
