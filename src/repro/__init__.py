@@ -21,6 +21,8 @@ See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 experiments reproducing every frame/figure of the paper.
 """
 
+from repro.api.config import BaselineConfig, EstimatorConfig, KGraphConfig
+from repro.api.protocol import Estimator, ServableState, SupportsServing
 from repro.core.kgraph import KGraph, KGraphResult
 from repro.datasets.catalogue import default_catalogue, generate_dataset, list_dataset_names
 from repro.parallel import (
@@ -50,16 +52,33 @@ _SERVE_EXPORTS = {
     "ServeApplication",
 }
 
+#: Estimator-registry exports re-exported lazily — building the registry
+#: imports every baseline (and hence every clustering module).
+_API_EXPORTS = {"EstimatorRegistry", "EstimatorSpec", "default_registry"}
+
 
 def __getattr__(name):
     if name in _SERVE_EXPORTS:
         from repro import serve
 
         return getattr(serve, name)
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
+    "BaselineConfig",
+    "Estimator",
+    "EstimatorConfig",
+    "EstimatorRegistry",
+    "EstimatorSpec",
+    "KGraphConfig",
+    "ServableState",
+    "SupportsServing",
+    "default_registry",
     "InferenceEngine",
     "ModelRegistry",
     "ServeApplication",

@@ -1,0 +1,63 @@
+"""``repro.api`` — the unified estimator contract of the library.
+
+Three pieces, threaded through every layer (benchmark, serve, pipeline,
+CLI):
+
+* **Protocols** (:mod:`repro.api.protocol`): :class:`Estimator` is what
+  every clustering method exposes (``fit`` / ``predict`` /
+  ``fit_predict`` / ``summary`` / ``get_config`` / ``from_config``);
+  :class:`SupportsServing` adds the ``prediction_state()`` /
+  ``validate_predict_input()`` pair the serving stack needs, and
+  :class:`ServableState` is the picklable state it extracts.
+* **Configs** (:mod:`repro.api.config`): frozen, versioned
+  :class:`EstimatorConfig` dataclasses — :class:`KGraphConfig` for
+  k-Graph, :class:`BaselineConfig` for every baseline — with validated
+  construction, stable JSON round-trips, old-version migration hooks, a
+  canonical :meth:`~EstimatorConfig.config_hash` and deterministic
+  :meth:`~EstimatorConfig.expand_grid`.
+* **Registry** (:mod:`repro.api.registry`): :func:`default_registry`
+  resolves stable names (``kgraph``, ``kmeans``, ``kshape``, ...) to
+  :class:`EstimatorSpec` entries that build configured estimators.
+
+The registry is exported lazily (PEP 562): it pulls in every clustering
+module, which ``import repro.api`` alone should not pay for.
+
+This module's ``__all__`` is a deliberate public surface — it is snapshot
+tested (``tests/test_api_surface.py``), so additions and removals are
+explicit decisions, not accidents.
+"""
+
+from repro.api.config import (
+    BaselineConfig,
+    EstimatorConfig,
+    KGraphConfig,
+    config_field_info,
+)
+from repro.api.protocol import Estimator, ServableState, SupportsServing
+from repro.exceptions import ConfigError
+
+#: Registry exports resolved lazily — see module docstring.
+_REGISTRY_EXPORTS = {"EstimatorRegistry", "EstimatorSpec", "default_registry"}
+
+
+def __getattr__(name):
+    if name in _REGISTRY_EXPORTS:
+        from repro.api import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BaselineConfig",
+    "ConfigError",
+    "Estimator",
+    "EstimatorConfig",
+    "EstimatorRegistry",
+    "EstimatorSpec",
+    "KGraphConfig",
+    "ServableState",
+    "SupportsServing",
+    "config_field_info",
+    "default_registry",
+]

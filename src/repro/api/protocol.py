@@ -1,0 +1,97 @@
+"""The :class:`Estimator` protocol — one contract for k-Graph and baselines.
+
+The paper's claim is comparative (k-Graph against many baselines), so the
+reproduction needs every method to be swappable everywhere an estimator is
+consumed: the benchmark harness, the serving stack, parameter grids and
+the CLI.  These protocols are structural (:func:`typing.runtime_checkable`
+``Protocol`` classes): an estimator conforms by shape, not by inheritance,
+so :class:`~repro.core.kgraph.KGraph` and the
+:class:`~repro.baselines.estimator.BaselineEstimator` adapter both satisfy
+them without a shared base class.
+
+* :class:`Estimator` — fit/predict/fit_predict plus the config round-trip
+  (``get_config`` / ``from_config``) and a JSON-serialisable ``summary``.
+* :class:`SupportsServing` — estimators the serving stack can export: they
+  extract a picklable :class:`ServableState` once per model, and validate
+  predict input up front so malformed requests fail in the caller's
+  thread.
+* :class:`ServableState` — the prepared prediction bundle itself; its
+  ``predict_batch`` is what inference micro-batches dispatch through any
+  :class:`~repro.parallel.ExecutionBackend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.api.config import EstimatorConfig
+
+
+@runtime_checkable
+class ServableState(Protocol):
+    """A prepared, picklable prediction state of one fitted estimator.
+
+    Implementations must be safe to pickle to process workers and to share
+    across threads (treat every array as read-only).  ``predict_batch``
+    receives an already-validated ``(n_series, length)`` array and returns
+    one integer cluster label per series; each series must be processed
+    independently, so a prediction never depends on which micro-batch its
+    series travelled in.
+    """
+
+    def predict_batch(self, array: np.ndarray) -> np.ndarray:
+        """Assign validated series to clusters; shape (n,) -> (n,) ints."""
+        ...
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """What every registered clustering method exposes.
+
+    ``fit`` accepts an ``(n_series, length)`` array (estimators may also
+    accept a :class:`~repro.utils.containers.TimeSeriesDataset`) and
+    returns ``self``; ``fit_predict`` returns the integer labels directly.
+    ``get_config()`` / ``from_config(cfg)`` round-trip the estimator's
+    full parameterisation through a typed
+    :class:`~repro.api.config.EstimatorConfig`, with the contract that
+    ``type(est).from_config(est.get_config())`` refits bit-identically
+    under the same seed.
+    """
+
+    def fit(self, data) -> "Estimator":
+        ...
+
+    def predict(self, data) -> np.ndarray:
+        ...
+
+    def fit_predict(self, data) -> np.ndarray:
+        ...
+
+    def summary(self) -> Dict[str, object]:
+        ...
+
+    def get_config(self) -> EstimatorConfig:
+        ...
+
+    @classmethod
+    def from_config(cls, config: EstimatorConfig) -> "Estimator":
+        ...
+
+
+@runtime_checkable
+class SupportsServing(Estimator, Protocol):
+    """Estimators the serving stack can export, register and serve online.
+
+    ``prediction_state`` extracts the :class:`ServableState` once per
+    fitted model (long-lived servers reuse it across requests);
+    ``validate_predict_input`` applies the estimator's canonical predict
+    validation so the online and offline paths can never drift.
+    """
+
+    def prediction_state(self) -> ServableState:
+        ...
+
+    def validate_predict_input(self, data) -> np.ndarray:
+        ...

@@ -1,0 +1,196 @@
+"""The estimator registry: stable names for k-Graph and every baseline.
+
+One :class:`EstimatorSpec` per method binds a stable registry name to its
+typed config class and estimator factory, so the benchmark harness, the
+serving stack, parameter grids and the CLI all resolve "an estimator" the
+same way.  :func:`default_registry` builds the canonical registry from the
+baseline method registry plus k-Graph; it is constructed lazily (the
+baselines pull in every clustering module) and cached.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+from repro.api.config import (
+    BaselineConfig,
+    EstimatorConfig,
+    KGraphConfig,
+    config_field_info,
+)
+from repro.exceptions import ValidationError
+
+
+def _build_kgraph(config: EstimatorConfig, **runtime) -> object:
+    from repro.core.kgraph import KGraph
+
+    return KGraph.from_config(config, **runtime)
+
+
+def _build_baseline(config: EstimatorConfig, **runtime) -> object:
+    from repro.baselines.estimator import BaselineEstimator
+
+    return BaselineEstimator.from_config(config, **runtime)
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """Everything the library needs to build one registered estimator.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (also what serve manifests record).
+    family:
+        Method family the Benchmark frame groups by.
+    description:
+        One-line human description (CLI ``estimators list``).
+    config_cls:
+        The :class:`~repro.api.config.EstimatorConfig` subclass carrying
+        this estimator's parameters.
+    servable:
+        Whether built estimators implement
+        :class:`~repro.api.protocol.SupportsServing` (all current
+        estimators do: k-Graph natively, baselines via centroid states).
+    """
+
+    name: str
+    family: str
+    description: str
+    config_cls: Type[EstimatorConfig]
+    servable: bool = True
+    _builder: Callable[..., object] = field(default=_build_baseline, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def make_config(self, **params) -> EstimatorConfig:
+        """Build this estimator's config from sparse keyword parameters.
+
+        Baseline configs get their ``method`` field injected from the
+        registry name, so callers never repeat it.  Unknown keys fail by
+        name (the shared :meth:`EstimatorConfig.from_options` contract).
+        """
+        if issubclass(self.config_cls, BaselineConfig):
+            params.setdefault("method", self.name)
+        return self.config_cls.from_options(overrides=params)
+
+    def expand_grid(
+        self, grid, *, base: Optional[EstimatorConfig] = None
+    ) -> List[EstimatorConfig]:
+        """Expand a dict-of-lists into concrete configs for this estimator."""
+        if base is None and issubclass(self.config_cls, BaselineConfig):
+            base = self.make_config()
+        return self.config_cls.expand_grid(grid, base=base)
+
+    def build(self, config: Optional[EstimatorConfig] = None, **runtime) -> object:
+        """Instantiate the estimator (default config when none is given).
+
+        ``runtime`` keywords (``backend``, ``n_jobs``, ``stage_backends``,
+        ``stage_cache``) are execution concerns, not configuration — they
+        never affect results and are forwarded to estimators that accept
+        them (k-Graph) and ignored by the rest.
+        """
+        if config is None:
+            config = self.make_config()
+        if not isinstance(config, self.config_cls):
+            raise ValidationError(
+                f"estimator {self.name!r} expects a "
+                f"{self.config_cls.__name__}, got {type(config).__name__}"
+            )
+        return self._builder(config, **runtime)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable description (CLI ``estimators describe``)."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "description": self.description,
+            "servable": self.servable,
+            "config": self.config_cls.__name__,
+            "config_version": int(self.config_cls.version),
+            "fields": config_field_info(self.config_cls),
+        }
+
+
+class EstimatorRegistry:
+    """A named collection of :class:`EstimatorSpec` entries."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, EstimatorSpec] = {}
+
+    def register(self, spec: EstimatorSpec) -> None:
+        """Add a spec; re-registering an existing name is rejected."""
+        key = spec.name.strip().lower()
+        if key in self._specs:
+            raise ValidationError(f"estimator {key!r} is already registered")
+        self._specs[key] = spec
+
+    def get(self, name: str) -> EstimatorSpec:
+        """Look a spec up by name (case-insensitive)."""
+        key = str(name).strip().lower()
+        if key not in self._specs:
+            raise ValidationError(
+                f"unknown estimator {name!r}; available: {self.names()}"
+            )
+        return self._specs[key]
+
+    def names(self) -> List[str]:
+        """Every registered estimator name, sorted."""
+        return sorted(self._specs)
+
+    def specs(self) -> Tuple[EstimatorSpec, ...]:
+        """Every registered spec, in name order."""
+        return tuple(self._specs[name] for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.strip().lower() in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+_default_registry: Optional[EstimatorRegistry] = None
+_registry_lock = threading.Lock()
+
+
+def default_registry() -> EstimatorRegistry:
+    """The canonical registry: k-Graph plus every baseline method.
+
+    Built lazily on first use (importing the baselines pulls in every
+    clustering module) and shared afterwards; registering additional
+    estimators on the returned instance makes them visible library-wide
+    (benchmark, serving, CLI).
+    """
+    global _default_registry
+    with _registry_lock:
+        if _default_registry is None:
+            from repro.baselines.registry import available_methods, get_method
+
+            registry = EstimatorRegistry()
+            for name in available_methods():
+                method = get_method(name)
+                if name == "kgraph":
+                    registry.register(
+                        EstimatorSpec(
+                            name=name,
+                            family=method.family,
+                            description=method.description,
+                            config_cls=KGraphConfig,
+                            servable=True,
+                            _builder=_build_kgraph,
+                        )
+                    )
+                else:
+                    registry.register(
+                        EstimatorSpec(
+                            name=name,
+                            family=method.family,
+                            description=method.description,
+                            config_cls=BaselineConfig,
+                            servable=True,
+                            _builder=_build_baseline,
+                        )
+                    )
+            _default_registry = registry
+    return _default_registry

@@ -13,6 +13,7 @@ for the substitution rationale.
 
 from repro.baselines.neural import DenseAutoencoder
 from repro.baselines.deep import DAEClustering, DTCClustering, SOMVAEClustering
+from repro.baselines.estimator import BaselineEstimator, CentroidPredictionState
 from repro.baselines.registry import (
     BaselineMethod,
     all_baseline_names,
@@ -22,7 +23,9 @@ from repro.baselines.registry import (
 )
 
 __all__ = [
+    "BaselineEstimator",
     "BaselineMethod",
+    "CentroidPredictionState",
     "DAEClustering",
     "DTCClustering",
     "DenseAutoencoder",

@@ -1,0 +1,286 @@
+"""Baseline methods as first-class, servable estimators.
+
+:class:`~repro.baselines.registry.BaselineMethod` is a thin
+``fit_predict``-only shim: it cannot be checkpointed, grid-swept with typed
+configs, or served.  :class:`BaselineEstimator` adapts any registered
+baseline to the :class:`~repro.api.protocol.Estimator` protocol:
+
+* ``fit`` validates the training data through the same shared dataset
+  checks :meth:`KGraph.validate_fit_input` uses — ragged or NaN input
+  raises an actionable :class:`~repro.exceptions.ValidationError` instead
+  of failing deep inside a clustering routine;
+* the full parameterisation lives in a
+  :class:`~repro.api.config.BaselineConfig`, so ``from_config(get_config())``
+  refits bit-identically and grids expand through one code path;
+* ``predict`` / ``prediction_state`` give every baseline the standard
+  out-of-sample extension — nearest cluster centroid on z-normalised
+  series — packaged as the picklable :class:`CentroidPredictionState` the
+  serving stack's micro-batching engine dispatches through any execution
+  backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.api.config import BaselineConfig
+from repro.baselines.registry import BaselineMethod, get_method
+from repro.exceptions import NotFittedError, ValidationError
+from repro.utils.containers import TimeSeriesDataset
+from repro.utils.normalization import znormalize_dataset
+from repro.utils.validation import check_time_series_dataset
+
+
+@dataclass(frozen=True)
+class CentroidPredictionState:
+    """Everything a baseline's ``predict`` needs, extracted from a fit once.
+
+    A plain bundle of NumPy arrays (hence picklable), mirroring the role
+    :class:`~repro.core.kgraph.PredictionState` plays for k-Graph: the
+    serving layer prepares it once per model and dispatches prediction
+    micro-batches through any execution backend.
+
+    Attributes
+    ----------
+    length:
+        Training series length; predict input must match it exactly (a
+        centroid has no windowing story for other lengths).
+    centroids:
+        ``(n_clusters, length)`` mean z-normalised training series per
+        cluster, in ``clusters`` order.
+    centroids_sq:
+        Per-row squared norms of ``centroids``, hoisted once.
+    clusters:
+        Cluster identifiers aligned with the ``centroids`` rows.
+    """
+
+    length: int
+    centroids: np.ndarray
+    centroids_sq: np.ndarray
+    clusters: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters the state can assign to."""
+        return int(self.centroids.shape[0])
+
+    def predict_batch(self, array: np.ndarray) -> np.ndarray:
+        """Assign validated equal-length series to the nearest centroid.
+
+        Series are z-normalised (matching how the centroids were built) and
+        assigned with the expanded squared-distance form
+        ``|x|^2 - 2 x.c + |c|^2`` — each series independently, so results
+        never depend on micro-batch composition.
+        """
+        data = znormalize_dataset(np.ascontiguousarray(array, dtype=float))
+        distances = (
+            np.sum(data**2, axis=1)[:, None]
+            - 2.0 * data @ self.centroids.T
+            + self.centroids_sq[None, :]
+        )
+        nearest = np.argmin(distances, axis=1)
+        return self.clusters[nearest].astype(int)
+
+
+class BaselineEstimator:
+    """Adapter exposing one registered baseline through the Estimator protocol.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.api.config.BaselineConfig` naming the method and
+        carrying ``n_clusters`` / ``random_state``.  The method name is
+        resolved against the baseline registry eagerly, so an unknown name
+        fails at construction with the available names listed.
+    """
+
+    def __init__(self, config: BaselineConfig) -> None:
+        if not isinstance(config, BaselineConfig):
+            raise ValidationError(
+                f"BaselineEstimator needs a BaselineConfig, got "
+                f"{type(config).__name__}"
+            )
+        self.config = config
+        self.method: BaselineMethod = get_method(config.method)
+        self.labels_: Optional[np.ndarray] = None
+        self.n_clusters_: Optional[int] = None
+        self.length_: Optional[int] = None
+        self._state: Optional[CentroidPredictionState] = None
+
+    # ------------------------------------------------------------------ #
+    # Estimator protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Registry name of the wrapped method."""
+        return self.method.name
+
+    @property
+    def family(self) -> str:
+        """Method family (``raw``, ``feature``, ``density``, ...)."""
+        return self.method.family
+
+    def get_config(self) -> BaselineConfig:
+        """The typed config this estimator was built from."""
+        return self.config
+
+    @classmethod
+    def from_config(cls, config: BaselineConfig, **_runtime) -> "BaselineEstimator":
+        """Build an estimator from its config (runtime kwargs are ignored:
+        baselines run in-process with no backend/cache knobs)."""
+        return cls(config)
+
+    def validate_fit_input(self, data) -> np.ndarray:
+        """Validate training data and return it as a 2-D array.
+
+        The same shared checks :meth:`KGraph.validate_fit_input` applies:
+        ragged inputs name the differing series lengths, NaN/infinite
+        values are located (series and position), and too-small datasets
+        state the requirement — instead of an opaque failure deep inside
+        the wrapped clustering routine.  A :class:`TimeSeriesDataset` was
+        already fully validated at construction (and is immutable), so it
+        only gets the stricter n_clusters-aware series-count check, not a
+        second full scan.
+        """
+        min_series = max(2, self.config.n_clusters or 2)
+        if isinstance(data, TimeSeriesDataset):
+            if data.n_series < min_series:
+                raise ValidationError(
+                    f"training data must contain at least {min_series} time "
+                    f"series, got {data.n_series}"
+                )
+            return data.data
+        return check_time_series_dataset(data, name="training data", min_series=min_series)
+
+    def _resolve_n_clusters(self, dataset: TimeSeriesDataset) -> int:
+        if self.config.n_clusters is not None:
+            return int(self.config.n_clusters)
+        return dataset.default_cluster_count()
+
+    def fit(self, data) -> "BaselineEstimator":
+        """Run the wrapped method and derive the centroid prediction state."""
+        array = self.validate_fit_input(data)
+        if isinstance(data, TimeSeriesDataset):
+            dataset = data
+        else:
+            dataset = TimeSeriesDataset(array, name="adhoc")
+        n_clusters = self._resolve_n_clusters(dataset)
+        labels = self.method.fit_predict(
+            dataset, n_clusters, random_state=self.config.random_state
+        )
+        self.labels_ = labels
+        self.n_clusters_ = int(np.unique(labels).size)
+        self.length_ = int(array.shape[1])
+        normalised = znormalize_dataset(array)
+        clusters = np.unique(labels)
+        centroids = np.vstack(
+            [normalised[labels == cluster].mean(axis=0) for cluster in clusters]
+        )
+        self._state = CentroidPredictionState(
+            length=self.length_,
+            centroids=centroids,
+            centroids_sq=np.sum(centroids**2, axis=1),
+            clusters=clusters,
+        )
+        return self
+
+    def fit_predict(self, data) -> np.ndarray:
+        """Fit the wrapped method and return the cleaned labels."""
+        return self.fit(data).labels_
+
+    def _check_fitted(self) -> None:
+        if self._state is None:
+            raise NotFittedError(
+                f"this {self.name!r} baseline estimator is not fitted yet; "
+                "call fit(data) first"
+            )
+
+    def validate_predict_input(self, data) -> np.ndarray:
+        """Validate predict input: 2-D numeric, training length, no NaNs."""
+        self._check_fitted()
+        array = check_time_series_dataset(data, name="predict input", min_series=1)
+        if array.shape[1] != self.length_:
+            raise ValidationError(
+                f"predict input series have length {array.shape[1]} but this "
+                f"{self.name!r} estimator was fitted on series of length "
+                f"{self.length_}; centroid assignment needs matching lengths"
+            )
+        return array
+
+    def predict(self, data) -> np.ndarray:
+        """Assign new series to the nearest fitted cluster centroid."""
+        array = self.validate_predict_input(data)
+        return self._state.predict_batch(array)
+
+    def prediction_state(self) -> CentroidPredictionState:
+        """The prepared, picklable serving state of the fitted estimator."""
+        self._check_fitted()
+        return self._state
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable description of the fitted estimator."""
+        self._check_fitted()
+        values, counts = np.unique(self.labels_, return_counts=True)
+        return {
+            "estimator": self.name,
+            "family": self.family,
+            "config": self.config.to_dict(),
+            "n_series": int(self.labels_.shape[0]),
+            "n_clusters": int(self.n_clusters_),
+            "length": int(self.length_),
+            "cluster_sizes": {int(v): int(c) for v, c in zip(values, counts)},
+        }
+
+    # ------------------------------------------------------------------ #
+    # artifact payloads (consumed by repro.serve.artifacts)
+    # ------------------------------------------------------------------ #
+    def artifact_arrays(self) -> Dict[str, np.ndarray]:
+        """The numeric payloads a model artifact stores for this estimator."""
+        self._check_fitted()
+        return {
+            "labels": self.labels_,
+            "centroids": self._state.centroids,
+            "clusters": self._state.clusters,
+        }
+
+    def artifact_fitted(self) -> Dict[str, object]:
+        """The ``fitted`` manifest block describing this estimator."""
+        self._check_fitted()
+        return {
+            "n_series": int(self.labels_.shape[0]),
+            "n_clusters": int(self.n_clusters_),
+            "length": int(self.length_),
+        }
+
+    def restore_artifact(
+        self,
+        fitted: Dict[str, object],
+        arrays: Dict[str, np.ndarray],
+    ) -> "BaselineEstimator":
+        """Restore the fitted state from artifact payloads (returns self).
+
+        The instance-level half of the artifact contract: the serve layer
+        builds the estimator from its config through the registry, then
+        hands the stored payloads to this hook — so artifact loading
+        dispatches through :func:`repro.api.default_registry` instead of
+        hard-coding estimator classes.
+        """
+        for required in ("labels", "centroids", "clusters"):
+            if required not in arrays:
+                raise ValidationError(
+                    f"baseline artifact arrays are missing entry {required!r}"
+                )
+        centroids = np.asarray(arrays["centroids"], dtype=float)
+        self.labels_ = np.asarray(arrays["labels"]).astype(int)
+        self.n_clusters_ = int(fitted["n_clusters"])
+        self.length_ = int(fitted["length"])
+        self._state = CentroidPredictionState(
+            length=self.length_,
+            centroids=centroids,
+            centroids_sq=np.sum(centroids**2, axis=1),
+            clusters=np.asarray(arrays["clusters"]).astype(int),
+        )
+        return self

@@ -45,7 +45,7 @@ from repro.features.selection import select_features
 from repro.metrics.distances import pairwise_distances
 from repro.utils.containers import TimeSeriesDataset
 from repro.utils.normalization import znormalize_dataset
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive_int, check_time_series_dataset
 
 
 @dataclass(frozen=True)
@@ -73,8 +73,30 @@ class BaselineMethod:
     def fit_predict(
         self, dataset: TimeSeriesDataset, n_clusters: int, random_state=None
     ) -> np.ndarray:
-        """Run the method and return cleaned (consecutive, non-negative) labels."""
+        """Run the method and return cleaned (consecutive, non-negative) labels.
+
+        ``dataset`` may also be a raw ``(n_series, length)`` array-like.
+        Either way the training data goes through the same shared checks
+        :meth:`KGraph.validate_fit_input` applies, so ragged or NaN inputs
+        raise an actionable :class:`ValidationError` naming the offending
+        series instead of failing deep inside a clustering routine.
+        """
         n_clusters = check_positive_int(n_clusters, "n_clusters")
+        if isinstance(dataset, TimeSeriesDataset):
+            # The container already ran the full shared checks (shape, dtype,
+            # NaN location) at construction and is immutable; only the
+            # stricter series-count floor needs asserting here — no second
+            # O(n_series x length) scan.
+            if dataset.n_series < 2:
+                raise ValidationError(
+                    f"training data must contain at least 2 time series, got "
+                    f"{dataset.n_series}"
+                )
+        else:
+            array = check_time_series_dataset(
+                dataset, name="training data", min_series=2
+            )
+            dataset = TimeSeriesDataset(array, name="adhoc")
         labels = np.asarray(self.runner(dataset, n_clusters, random_state))
         if labels.shape[0] != dataset.n_series:
             raise ValidationError(
@@ -278,6 +300,11 @@ def run_method(
     dataset is unlabelled.
     """
     method = get_method(name)
+    if not isinstance(dataset, TimeSeriesDataset):
+        # Raw arrays get the same shared validation (ragged/NaN inputs fail
+        # by name) and an ad-hoc unlabelled dataset wrapper.
+        array = check_time_series_dataset(dataset, name="training data", min_series=2)
+        dataset = TimeSeriesDataset(array, name="adhoc")
     if n_clusters is None:
         n_clusters = dataset.default_cluster_count()
     return method.fit_predict(dataset, n_clusters, random_state=random_state)

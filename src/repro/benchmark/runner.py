@@ -95,18 +95,45 @@ class BenchmarkResult:
 
 
 def run_single_benchmark(
-    method_name: str, dataset: TimeSeriesDataset, random_state=None
+    method_name: str,
+    dataset: TimeSeriesDataset,
+    random_state=None,
+    *,
+    config_overrides: Optional[Dict[str, object]] = None,
 ) -> BenchmarkResult:
-    """Run one method on one (already materialised) dataset.
+    """Run one registered estimator on one (already materialised) dataset.
 
     Module-level (hence picklable) so campaign jobs can be dispatched
-    through any :class:`~repro.parallel.ExecutionBackend`.
+    through any :class:`~repro.parallel.ExecutionBackend`.  The method is
+    resolved through the estimator registry and run via the
+    :class:`~repro.api.Estimator` protocol, so any registry name —
+    k-Graph or baseline — benchmarks identically.
+
+    ``config_overrides`` applies config-field overrides to every method
+    whose config declares the field (e.g. ``{"n_sectors": 16}`` reaches
+    k-Graph but is a no-op for k-Means); values for fields a method does
+    not declare are skipped, so one override set can drive a mixed-method
+    campaign.  The method identity itself (``method``) is never
+    overridable — a row labelled ``kshape`` must hold k-Shape's numbers.
     """
-    method = get_method(method_name)
-    n_clusters = dataset.default_cluster_count()
+    from repro.api.registry import default_registry
+
+    spec = default_registry().get(method_name)
+    # A live Generator cannot live in a (serialisable) config; forward it
+    # verbatim through the legacy method shim instead, exactly as the
+    # pre-registry harness did.
+    simple_seed = random_state is None or isinstance(random_state, (int, np.integer))
+    params: Dict[str, object] = {"n_clusters": dataset.default_cluster_count()}
+    if simple_seed:
+        params["random_state"] = random_state
+    if config_overrides:
+        known = set(spec.config_cls.field_names()) - {"method"}
+        params.update(
+            {key: value for key, value in config_overrides.items() if key in known}
+        )
     result = BenchmarkResult(
-        method=method.name,
-        family=method.family,
+        method=spec.name,
+        family=spec.family,
         dataset=dataset.name,
         dataset_type=dataset.dataset_type,
         n_series=dataset.n_series,
@@ -115,7 +142,13 @@ def run_single_benchmark(
     )
     start = time.perf_counter()
     try:
-        labels = method.fit_predict(dataset, n_clusters, random_state=random_state)
+        if simple_seed:
+            estimator = spec.build(spec.make_config(**params))
+            labels = estimator.fit_predict(dataset.data)
+        else:
+            labels = get_method(spec.name).fit_predict(
+                dataset, int(params["n_clusters"]), random_state=random_state
+            )
         result.runtime_seconds = time.perf_counter() - start
         if dataset.labels is not None:
             result.measures = clustering_report(dataset.labels, labels)
@@ -138,13 +171,17 @@ class _CampaignJob:
     run_index: int
     dataset_seed: int
     method_seed: int
+    config_overrides: Optional[Dict[str, object]] = None
 
 
 def _execute_campaign_job(job: _CampaignJob) -> BenchmarkResult:
     """Materialise the dataset and run one method on it (picklable)."""
     dataset = job.spec.generate(random_state=job.dataset_seed)
     return run_single_benchmark(
-        job.method_name, dataset, random_state=job.method_seed
+        job.method_name,
+        dataset,
+        random_state=job.method_seed,
+        config_overrides=job.config_overrides,
     )
 
 
@@ -172,6 +209,10 @@ class BenchmarkRunner:
         ``backend="process"`` a process pool (which requires picklable
         catalogue generators).  Seeds are pre-drawn in serial order, so
         results are identical across backends — see :mod:`repro.parallel`.
+    config_overrides:
+        Optional config-field overrides applied to every campaign cell
+        whose estimator config declares the field (the CLI's ``--config``
+        / ``--set`` plumbing) — see :func:`run_single_benchmark`.
     """
 
     def __init__(
@@ -183,6 +224,7 @@ class BenchmarkRunner:
         random_state=None,
         backend: Union[None, str, ExecutionBackend] = None,
         n_jobs: Optional[int] = None,
+        config_overrides: Optional[Dict[str, object]] = None,
     ) -> None:
         if methods is None:
             methods = all_baseline_names() + ["kgraph"]
@@ -193,6 +235,7 @@ class BenchmarkRunner:
         self.n_runs = check_positive_int(n_runs, "n_runs")
         self.backend = backend
         self.n_jobs = n_jobs
+        self.config_overrides = dict(config_overrides) if config_overrides else None
         self._seed_pool = SeedSequencePool(random_state)
 
     # ------------------------------------------------------------------ #
@@ -255,6 +298,7 @@ class BenchmarkRunner:
                             run_index=run_index,
                             dataset_seed=self._seed_pool.next_seed(),
                             method_seed=self._seed_pool.next_seed(),
+                            config_overrides=self.config_overrides,
                         )
                     )
         if not jobs:
@@ -301,6 +345,166 @@ class BenchmarkRunner:
             results.append(self._average(per_run))
         return results
 
+    def run_estimator_grid(
+        self,
+        dataset: TimeSeriesDataset,
+        name: str,
+        grid,
+        *,
+        base: Union[None, Dict[str, object], "EstimatorConfig"] = None,
+        stage_cache=None,
+        random_state=0,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[BenchmarkResult]:
+        """Sweep one registered estimator's config grid on one dataset.
+
+        Accepts *any* estimator registry name.  Each combination becomes a
+        typed config (one validation code path — an invalid value fails
+        naming the offending field), the estimator is built through the
+        registry, and for k-Graph every combination fits through the stage
+        pipeline with a *shared* :class:`~repro.pipeline.StageCache`, so
+        sweeping a parameter that only affects downstream stages replays
+        the expensive per-length embedding checkpoints instead of
+        refitting from scratch — results are bit-identical to independent
+        cold fits.
+
+        Parameters
+        ----------
+        dataset:
+            The materialised dataset every combination runs on.
+        grid:
+            Either a dict-of-lists expanded deterministically via
+            :meth:`~repro.api.EstimatorConfig.expand_grid` (any invalid
+            combination fails up front), or an explicit sequence of
+            override dicts (combinations are isolated: a bad combo is
+            recorded as a failed result, the sweep continues).
+        base:
+            Config fields shared by every combination — a plain dict of
+            overrides or a full :class:`~repro.api.EstimatorConfig`.
+        stage_cache:
+            k-Graph only: checkpoint store shared across the grid (a
+            :class:`~repro.pipeline.StageCache`, a directory path, or
+            ``None`` for a fresh in-memory cache scoped to this call).
+        random_state:
+            Seed used by *every* combination — a shared seed is what makes
+            upstream checkpoints hit across the grid.
+        progress:
+            Optional ``(method, dataset, result)`` callback per combination.
+
+        Returns one :class:`BenchmarkResult` per combination, in grid
+        order; for k-Graph, ``measures["stages_cached"]`` /
+        ``measures["stages_executed"]`` record how much of each fit was
+        replayed.
+        """
+        from typing import Mapping
+
+        from repro.api.config import EstimatorConfig, grid_combinations
+        from repro.api.registry import default_registry
+
+        spec = default_registry().get(name)
+        is_kgraph = spec.name == "kgraph"
+
+        base_fields: Dict[str, object] = {}
+        if isinstance(base, EstimatorConfig):
+            if not isinstance(base, spec.config_cls):
+                raise BenchmarkError(
+                    f"estimator {spec.name!r} expects a "
+                    f"{spec.config_cls.__name__} base, got {type(base).__name__}"
+                )
+            base_fields = {
+                field_name: getattr(base, field_name)
+                for field_name in spec.config_cls.field_names()
+            }
+        elif base is not None:
+            base_fields = dict(base)
+
+        def _combo_params(combo: Dict[str, object]) -> Dict[str, object]:
+            """One combination's full config parameters (shared defaulting).
+
+            ``n_clusters`` falls back to the dataset's class count and the
+            seed to the shared ``random_state`` whenever neither base nor
+            combo pins them — a base *config* carries ``random_state=None``
+            for "unset", which must not mean fresh entropy here (a shared
+            seed is what makes stage checkpoints hit across the grid).
+            The estimator identity is never rebindable through a grid.
+            """
+            params = dict(base_fields)
+            params.update(combo)
+            if params.get("method") not in (None, spec.name):
+                raise BenchmarkError(
+                    f"a grid for estimator {spec.name!r} cannot rebind "
+                    f"'method' to {params['method']!r}; sweep the other "
+                    "estimator by name instead"
+                )
+            if params.get("n_clusters") is None:
+                params["n_clusters"] = dataset.default_cluster_count()
+            if params.get("random_state") is None:
+                params["random_state"] = random_state
+            return params
+
+        if isinstance(grid, Mapping):
+            # Dict-of-lists grids are declarative: expand through the shared
+            # deterministic-order helper and validate every combination
+            # before any fit starts, so a bad value fails here with the
+            # offending field named.
+            combos = grid_combinations(grid)
+            for combo in combos:
+                spec.make_config(**_combo_params(combo))
+        else:
+            combos = [dict(combo) for combo in grid]
+        if not combos:
+            raise BenchmarkError(
+                f"run_estimator_grid needs at least one combination for {spec.name!r}"
+            )
+
+        cache = None
+        if is_kgraph:
+            from repro.pipeline import MemoryStageCache, resolve_stage_cache
+
+            cache = resolve_stage_cache(stage_cache)
+            if cache is None:
+                cache = MemoryStageCache(max_entries=64)
+
+        results: List[BenchmarkResult] = []
+        for combo in combos:
+            label = spec.name
+            if combo:
+                label += "[" + ",".join(
+                    f"{key}={combo[key]}" for key in sorted(combo)
+                ) + "]"
+            result = BenchmarkResult(
+                method=label,
+                family=spec.family,
+                dataset=dataset.name,
+                dataset_type=dataset.dataset_type,
+                n_series=dataset.n_series,
+                length=dataset.length,
+                n_classes=dataset.n_classes,
+            )
+            start = time.perf_counter()
+            try:
+                estimator = spec.build(
+                    spec.make_config(**_combo_params(combo)),
+                    backend=self.backend,
+                    n_jobs=self.n_jobs,
+                    stage_cache=cache,
+                )
+                labels = estimator.fit_predict(dataset.data)
+                result.runtime_seconds = time.perf_counter() - start
+                if dataset.labels is not None:
+                    result.measures = clustering_report(dataset.labels, labels)
+                report = getattr(estimator, "pipeline_report_", None)
+                if report is not None:
+                    result.measures["stages_cached"] = float(len(report.cached))
+                    result.measures["stages_executed"] = float(len(report.executed))
+            except Exception as exc:  # noqa: BLE001 - one bad combo must not stop the sweep
+                result.runtime_seconds = time.perf_counter() - start
+                result.error = f"{type(exc).__name__}: {exc}"
+            if progress is not None:
+                progress(label, dataset.name, result)
+            results.append(result)
+        return results
+
     def run_kgraph_grid(
         self,
         dataset: TimeSeriesDataset,
@@ -311,91 +515,21 @@ class BenchmarkRunner:
         random_state=0,
         progress: Optional[ProgressCallback] = None,
     ) -> List[BenchmarkResult]:
-        """Sweep k-Graph parameter combinations on one dataset, reusing stages.
+        """Sweep k-Graph parameter combinations (kept as a thin alias).
 
-        Every combination fits through the stage pipeline with a *shared*
-        :class:`~repro.pipeline.StageCache`, so sweeping a parameter that
-        only affects downstream stages (``feature_mode``, ``n_clusters``,
-        the graphoid thresholds) replays the expensive per-length embedding
-        checkpoints instead of refitting from scratch — results are
-        bit-identical to independent cold fits.
-
-        Parameters
-        ----------
-        dataset:
-            The materialised dataset every combination runs on.
-        grid:
-            Parameter combinations, each a dict of :class:`KGraph`
-            constructor overrides (e.g. ``{"feature_mode": "edges"}``).
-        base_params:
-            Constructor arguments shared by every combination.
-        stage_cache:
-            Checkpoint store shared across the grid: a
-            :class:`~repro.pipeline.StageCache`, a directory path, or
-            ``None`` for a fresh in-memory cache scoped to this call.
-        random_state:
-            Seed used by *every* combination — a shared seed is what makes
-            upstream checkpoints hit across the grid.
-        progress:
-            Optional ``(method, dataset, result)`` callback per combination.
-
-        Returns one :class:`BenchmarkResult` per combination, in grid
-        order; ``measures["stages_cached"]`` / ``measures["stages_executed"]``
-        record how much of each fit was replayed.
+        Subsumed by :meth:`run_estimator_grid` with ``name="kgraph"`` —
+        same shared-stage-cache reuse, same per-combination error
+        isolation, same result labels.
         """
-        from repro.core.kgraph import KGraph
-        from repro.pipeline import MemoryStageCache, resolve_stage_cache
-
-        grid = [dict(combo) for combo in grid]
-        if not grid:
-            raise BenchmarkError("run_kgraph_grid needs at least one combination")
-        cache = resolve_stage_cache(stage_cache)
-        if cache is None:
-            cache = MemoryStageCache(max_entries=64)
-
-        results: List[BenchmarkResult] = []
-        for combo in grid:
-            params = dict(base_params or {})
-            params.update(combo)
-            n_clusters = params.pop("n_clusters", dataset.default_cluster_count())
-            label = "kgraph"
-            if combo:
-                label += "[" + ",".join(
-                    f"{key}={combo[key]}" for key in sorted(combo)
-                ) + "]"
-            result = BenchmarkResult(
-                method=label,
-                family="graph",
-                dataset=dataset.name,
-                dataset_type=dataset.dataset_type,
-                n_series=dataset.n_series,
-                length=dataset.length,
-                n_classes=dataset.n_classes,
-            )
-            start = time.perf_counter()
-            try:
-                model = KGraph(
-                    int(n_clusters),
-                    random_state=random_state,
-                    backend=self.backend,
-                    n_jobs=self.n_jobs,
-                    stage_cache=cache,
-                    **params,
-                )
-                model.fit(dataset.data)
-                result.runtime_seconds = time.perf_counter() - start
-                if dataset.labels is not None:
-                    result.measures = clustering_report(dataset.labels, model.labels_)
-                report = model.pipeline_report_
-                result.measures["stages_cached"] = float(len(report.cached))
-                result.measures["stages_executed"] = float(len(report.executed))
-            except Exception as exc:  # noqa: BLE001 - one bad combo must not stop the sweep
-                result.runtime_seconds = time.perf_counter() - start
-                result.error = f"{type(exc).__name__}: {exc}"
-            if progress is not None:
-                progress(label, dataset.name, result)
-            results.append(result)
-        return results
+        return self.run_estimator_grid(
+            dataset,
+            "kgraph",
+            grid,
+            base=base_params,
+            stage_cache=stage_cache,
+            random_state=random_state,
+            progress=progress,
+        )
 
     @staticmethod
     def _average(runs: List[BenchmarkResult]) -> BenchmarkResult:

@@ -18,11 +18,13 @@ Every intermediate artifact is kept on the fitted estimator (and bundled in
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.api.config import KGraphConfig
 from repro.core.consensus import consensus_clustering
 from repro.core.graph_clustering import GraphPartition, cluster_graph
 from repro.core.interpretability import (
@@ -45,7 +47,6 @@ from repro.utils.normalization import znormalize_dataset
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import (
-    check_positive_int,
     check_probability,
     check_random_state,
     check_time_series_dataset,
@@ -252,6 +253,16 @@ class PredictionState:
         """Number of nodes of the selected graph."""
         return int(self.patterns.shape[0])
 
+    def predict_batch(self, array: np.ndarray) -> np.ndarray:
+        """Assign validated series to clusters (the ServableState contract).
+
+        The method form of :func:`predict_with_state`, so the serving
+        engine can dispatch *any* estimator's prepared state — k-Graph's
+        graph-profile assignment here, a baseline's centroid assignment
+        elsewhere — through one uniform call.
+        """
+        return predict_with_state(self, array)
+
 
 #: Transient-memory budget for one block of the batched predict path.
 _PREDICT_BLOCK_BYTES = 32 * 1024 * 1024
@@ -385,11 +396,27 @@ def _extract_cluster_graphoids(job: _GraphoidJob) -> Tuple[int, Graphoid, Grapho
     return job.cluster, lam, gam
 
 
+#: Sentinel distinguishing "kwarg not passed" from any real value, so the
+#: constructor shim can tell explicit overrides apart from defaults.
+_UNSET = object()
+
+
 class KGraph:
     """Graph-based interpretable time series clustering.
 
+    The full parameterisation lives in a
+    :class:`~repro.api.config.KGraphConfig` (``config=``); the individual
+    keyword parameters below remain accepted and are folded into the
+    config, so ``KGraph(**old_kwargs)`` keeps working.  Passing a kwarg
+    that *conflicts* with an explicit ``config`` emits a
+    ``DeprecationWarning`` (the kwarg wins — it is the more explicit
+    request), nudging callers toward one source of parameter truth.
+
     Parameters
     ----------
+    config:
+        Optional :class:`~repro.api.config.KGraphConfig` carrying every
+        algorithm parameter; validation happens at config construction.
     n_clusters:
         Number of clusters ``k``.
     n_lengths:
@@ -448,38 +475,67 @@ class KGraph:
 
     def __init__(
         self,
-        n_clusters: int = 3,
+        n_clusters: int = _UNSET,
         *,
-        n_lengths: int = 4,
-        lengths: Optional[Sequence[int]] = None,
-        stride: int = 1,
-        n_sectors: int = 24,
-        feature_mode: str = "both",
-        lambda_threshold: float = 0.5,
-        gamma_threshold: float = 0.5,
-        random_state=None,
+        config: Optional[KGraphConfig] = None,
+        n_lengths: int = _UNSET,
+        lengths: Optional[Sequence[int]] = _UNSET,
+        stride: int = _UNSET,
+        n_sectors: int = _UNSET,
+        feature_mode: str = _UNSET,
+        lambda_threshold: float = _UNSET,
+        gamma_threshold: float = _UNSET,
+        random_state=_UNSET,
         backend: Union[None, str, ExecutionBackend] = None,
         n_jobs: Optional[int] = None,
         stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
         stage_cache=None,
     ) -> None:
-        self.n_clusters = check_positive_int(n_clusters, "n_clusters", minimum=2)
-        self.n_lengths = check_positive_int(n_lengths, "n_lengths")
-        if lengths is not None:
-            lengths = [check_positive_int(int(v), "length", minimum=2) for v in lengths]
-            if not lengths:
-                raise ValidationError("lengths must not be empty")
-        self.lengths = lengths
-        self.stride = check_positive_int(stride, "stride")
-        self.n_sectors = check_positive_int(n_sectors, "n_sectors", minimum=2)
-        if feature_mode not in {"both", "nodes", "edges"}:
-            raise ValidationError(
-                f"feature_mode must be 'both', 'nodes' or 'edges', got {feature_mode!r}"
+        overrides = {
+            name: value
+            for name, value in (
+                ("n_clusters", n_clusters),
+                ("n_lengths", n_lengths),
+                ("lengths", lengths),
+                ("stride", stride),
+                ("n_sectors", n_sectors),
+                ("feature_mode", feature_mode),
+                ("lambda_threshold", lambda_threshold),
+                ("gamma_threshold", gamma_threshold),
+                ("random_state", random_state),
             )
-        self.feature_mode = feature_mode
-        self.lambda_threshold = check_probability(lambda_threshold, "lambda_threshold")
-        self.gamma_threshold = check_probability(gamma_threshold, "gamma_threshold")
-        self.random_state = random_state
+            if value is not _UNSET
+        }
+        # A live Generator cannot live in a (serialisable) config; it stays
+        # on the instance and the config records no seed — the same nulling
+        # rule model artifacts have always applied.
+        self._runtime_random_state: Optional[np.random.Generator] = None
+        if isinstance(overrides.get("random_state"), np.random.Generator):
+            self._runtime_random_state = overrides["random_state"]
+            overrides["random_state"] = None
+        if config is None:
+            self.config = KGraphConfig(**overrides)
+        else:
+            if not isinstance(config, KGraphConfig):
+                raise ValidationError(
+                    f"config must be a KGraphConfig, got {type(config).__name__}"
+                )
+            candidate = config.replace(**overrides) if overrides else config
+            conflicts = sorted(
+                name
+                for name in overrides
+                if getattr(candidate, name) != getattr(config, name)
+            )
+            if conflicts:
+                warnings.warn(
+                    f"KGraph received both config= and conflicting keyword(s) "
+                    f"{conflicts}; the keywords win, but overriding an explicit "
+                    "config this way is deprecated — build the config you mean "
+                    "with config.replace(...) instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            self.config = candidate
         self.backend = backend
         self.n_jobs = n_jobs
         if stage_backends is not None and not isinstance(stage_backends, dict):
@@ -496,6 +552,103 @@ class KGraph:
         #: cached-vs-executed flags, wall-clock seconds); ``None`` before
         #: fitting, after :meth:`fit_reference`, and on loaded artifacts.
         self.pipeline_report_ = None
+
+    # ------------------------------------------------------------------ #
+    # config-backed parameter views (the config is the source of truth)
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters ``k`` (from the config)."""
+        return self.config.n_clusters
+
+    @property
+    def n_lengths(self) -> int:
+        """Size of the automatic length grid (from the config)."""
+        return self.config.n_lengths
+
+    @property
+    def lengths(self) -> Optional[Tuple[int, ...]]:
+        """Explicit subsequence lengths, or ``None`` (from the config)."""
+        return self.config.lengths
+
+    @property
+    def stride(self) -> int:
+        """Subsequence extraction stride (from the config)."""
+        return self.config.stride
+
+    @property
+    def n_sectors(self) -> int:
+        """Radial-scan sector count (from the config)."""
+        return self.config.n_sectors
+
+    @property
+    def feature_mode(self) -> str:
+        """Graph feature mode (from the config)."""
+        return self.config.feature_mode
+
+    @property
+    def lambda_threshold(self) -> float:
+        """Default λ-graphoid threshold (from the config)."""
+        return self.config.lambda_threshold
+
+    @property
+    def gamma_threshold(self) -> float:
+        """Default γ-graphoid threshold (from the config)."""
+        return self.config.gamma_threshold
+
+    @property
+    def random_state(self):
+        """The seed in effect: a runtime Generator if one was passed, else
+        the config's integer seed (or ``None``)."""
+        if self._runtime_random_state is not None:
+            return self._runtime_random_state
+        return self.config.random_state
+
+    # ------------------------------------------------------------------ #
+    # Estimator protocol: config round-trip
+    # ------------------------------------------------------------------ #
+    def get_config(self) -> KGraphConfig:
+        """The typed config carrying this estimator's full parameterisation."""
+        return self.config
+
+    @classmethod
+    def from_config(
+        cls,
+        config: KGraphConfig,
+        *,
+        backend: Union[None, str, ExecutionBackend] = None,
+        n_jobs: Optional[int] = None,
+        stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
+        stage_cache=None,
+    ) -> "KGraph":
+        """Build an estimator from its config plus runtime-only knobs.
+
+        ``from_config(est.get_config())`` refits bit-identically to ``est``
+        under the same seed: the config carries every result-affecting
+        parameter, and the runtime knobs (backend, jobs, caches) never
+        change results.
+        """
+        return cls(
+            config=config,
+            backend=backend,
+            n_jobs=n_jobs,
+            stage_backends=stage_backends,
+            stage_cache=stage_cache,
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serialisable description of the fitted estimator.
+
+        The fitted-result summary of :meth:`KGraphResult.summary` plus the
+        estimator identity and config — the uniform shape every registered
+        estimator returns.
+        """
+        self._check_fitted()
+        return {
+            "estimator": "kgraph",
+            "config": self.config.to_dict(),
+            **self.result_.summary(),
+        }
 
     # ------------------------------------------------------------------ #
     def _resolve_lengths(self, series_length: int) -> List[int]:
@@ -560,7 +713,6 @@ class KGraph:
             KGRAPH_STAGE_NAMES,
             PipelineContext,
             build_kgraph_pipeline,
-            kgraph_pipeline_config,
         )
 
         unknown = sorted(set(stage_backends) - set(KGRAPH_STAGE_NAMES))
@@ -579,14 +731,10 @@ class KGraph:
 
         pipeline = build_kgraph_pipeline()
         ctx = PipelineContext(
-            config=kgraph_pipeline_config(
-                n_clusters=self.n_clusters,
-                stride=self.stride,
-                n_sectors=self.n_sectors,
-                feature_mode=self.feature_mode,
-                lambda_threshold=self.lambda_threshold,
-                gamma_threshold=self.gamma_threshold,
-            ),
+            # The stages' flat config view is derived from the typed config,
+            # so the cache-key inputs and the estimator's parameters share
+            # one source of truth.
+            config=self.config.stage_config(),
             values={
                 "array": array,
                 "lengths": lengths,
@@ -596,7 +744,9 @@ class KGraph:
             backend=backend,
             stage_backends=stage_backends,
         )
-        report = pipeline.run(ctx, cache=cache)
+        report = pipeline.run(
+            ctx, cache=cache, config_hash=self.config.config_hash()
+        )
 
         self.result_ = KGraphResult(
             labels=ctx.values["labels"],

@@ -16,6 +16,18 @@ class ValidationError(ReproError, ValueError):
     """Raised when user-supplied data or parameters are invalid."""
 
 
+class ConfigError(ValidationError):
+    """Raised when an estimator config payload is malformed.
+
+    Covers schema-level problems of :mod:`repro.api` config objects —
+    unknown or missing keys, unsupported config versions, failed version
+    migrations — as opposed to *value* problems (an out-of-range field),
+    which surface as plain :class:`ValidationError` from the shared
+    validation helpers.  A subclass of :class:`ValidationError` so callers
+    that treat "bad parameters" uniformly keep working.
+    """
+
+
 class NotFittedError(ReproError, RuntimeError):
     """Raised when a model method requiring a prior ``fit`` is called too early."""
 

@@ -30,6 +30,7 @@ from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
+from repro.api.config import KGraphConfig
 from repro.core.consensus import consensus_clustering
 from repro.core.graph_clustering import GraphPartition, cluster_graph
 from repro.core.interpretability import (
@@ -65,15 +66,21 @@ def kgraph_pipeline_config(
     lambda_threshold: float,
     gamma_threshold: float,
 ) -> Dict[str, object]:
-    """The flat config mapping the k-Graph stages draw their keys from."""
-    return {
-        "n_clusters": int(n_clusters),
-        "stride": int(stride),
-        "n_sectors": int(n_sectors),
-        "feature_mode": str(feature_mode),
-        "lambda_threshold": float(lambda_threshold),
-        "gamma_threshold": float(gamma_threshold),
-    }
+    """The flat config mapping the k-Graph stages draw their keys from.
+
+    A convenience wrapper over :meth:`KGraphConfig.stage_config` — the
+    parameters are validated by the typed config, so a caller building the
+    mapping by hand gets exactly the checks (and error messages) the
+    estimator constructor applies.
+    """
+    return KGraphConfig(
+        n_clusters=n_clusters,
+        stride=stride,
+        n_sectors=n_sectors,
+        feature_mode=feature_mode,
+        lambda_threshold=lambda_threshold,
+        gamma_threshold=gamma_threshold,
+    ).stage_config()
 
 
 # --------------------------------------------------------------------------- #
@@ -191,7 +198,9 @@ class EmbedStage(Stage):
     name = "embed"
     inputs = ("array", "lengths", "per_length_rngs")
     outputs = ("graphs", "cluster_rngs")
-    config_keys = ("stride", "n_sectors")
+    # Derived from the fields KGraphConfig tags with this stage, so the
+    # cache-key inputs and the typed config can never drift apart.
+    config_keys = KGraphConfig.stage_config_keys("embed")
 
     def run(self, ctx: PipelineContext) -> Mapping[str, object]:
         array = ctx.require("array")
@@ -223,7 +232,7 @@ class GraphClusterStage(Stage):
     name = "graph_cluster"
     inputs = ("graphs", "cluster_rngs")
     outputs = ("partitions",)
-    config_keys = ("n_clusters", "feature_mode")
+    config_keys = KGraphConfig.stage_config_keys("graph_cluster")
 
     def run(self, ctx: PipelineContext) -> Mapping[str, object]:
         graphs = ctx.require("graphs")
@@ -252,7 +261,7 @@ class ConsensusStage(Stage):
     name = "consensus"
     inputs = ("partitions", "consensus_rng")
     outputs = ("labels", "consensus_matrix")
-    config_keys = ("n_clusters",)
+    config_keys = KGraphConfig.stage_config_keys("consensus")
 
     def run(self, ctx: PipelineContext) -> Mapping[str, object]:
         partitions = ctx.require("partitions")
@@ -271,7 +280,7 @@ class LengthSelectionStage(Stage):
     name = "length_selection"
     inputs = ("graphs", "partitions", "labels")
     outputs = ("length_scores", "optimal_length")
-    config_keys = ()
+    config_keys = KGraphConfig.stage_config_keys("length_selection")
 
     def run(self, ctx: PipelineContext) -> Mapping[str, object]:
         with ctx.watch.section("length_selection"):
@@ -291,7 +300,7 @@ class InterpretabilityStage(Stage):
     name = "interpretability"
     inputs = ("graphs", "labels", "optimal_length")
     outputs = ("lambda_graphoids", "gamma_graphoids")
-    config_keys = ("lambda_threshold", "gamma_threshold")
+    config_keys = KGraphConfig.stage_config_keys("interpretability")
 
     def run(self, ctx: PipelineContext) -> Mapping[str, object]:
         graphs = ctx.require("graphs")

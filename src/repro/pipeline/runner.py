@@ -144,19 +144,29 @@ class Pipeline:
         return digest.hexdigest()
 
     def run(
-        self, ctx: PipelineContext, *, cache: Optional[StageCache] = None
+        self,
+        ctx: PipelineContext,
+        *,
+        cache: Optional[StageCache] = None,
+        config_hash: Optional[str] = None,
     ) -> PipelineReport:
-        """Execute every stage (or replay its checkpoint) and report."""
+        """Execute every stage (or replay its checkpoint) and report.
+
+        ``config_hash`` lets the driver stamp the report (and hence serve
+        manifests) with a canonical config identity — e.g. the typed
+        :meth:`repro.api.EstimatorConfig.config_hash` — instead of the
+        ad-hoc fingerprint of the stages' config subset used as fallback.
+        """
         missing_seed = [name for name in self.seed_inputs if name not in ctx.values]
         if missing_seed:
             raise PipelineError(
                 f"pipeline seed inputs {missing_seed} are missing from the context"
             )
-        report = PipelineReport(
-            config_hash=fingerprint(
+        if config_hash is None:
+            config_hash = fingerprint(
                 {key: ctx.config.get(key) for stage in self.stages for key in stage.config_keys}
             )
-        )
+        report = PipelineReport(config_hash=config_hash)
         # Per-run fingerprint memo: a value consumed by several stages (the
         # graphs feed graph_cluster, length_selection AND interpretability)
         # is hashed once, not once per consumer.  Keyed by object identity —

@@ -1,19 +1,22 @@
-"""Versioned on-disk artifacts for fitted :class:`~repro.core.kgraph.KGraph` models.
+"""Versioned on-disk artifacts for fitted, servable estimators.
 
 An artifact is a directory with three files:
 
-* ``manifest.json`` — schema version, constructor parameters, fit metadata,
-  per-length scores/partition diagnostics, graphoids, timings, and free-form
-  user metadata.  Everything a registry needs to *describe* the model
-  without touching the heavy payloads.
+* ``manifest.json`` — schema version, the estimator's registry name and
+  typed config payload, fit metadata, per-length scores/partition
+  diagnostics, graphoids, timings, and free-form user metadata.
+  Everything a registry needs to *describe* the model without touching
+  the heavy payloads.
 * ``arrays.npz``    — every numeric array (labels, consensus matrix, node
-  patterns, per-length partition labels and feature matrices), stored
+  patterns, per-length partition labels and feature matrices for k-Graph;
+  labels, centroids and cluster ids for baseline estimators), stored
   losslessly so ``load_model(save_model(m)).predict(X)`` is bit-identical
   to ``m.predict(X)``.
 * ``graphs.json``   — the structural part of every per-length
   :class:`~repro.graph.structure.TimeSeriesGraph`: nodes with positions and
   visit counts, weighted edges, per-node/per-edge series multisets, and the
-  node trajectory of every training series.
+  node trajectory of every training series (an empty list for estimators
+  without graphs).
 
 The format deliberately avoids pickle: it is inspectable, diffable, safe to
 load from untrusted sources, and guarded by the shared schema-version check
@@ -32,20 +35,29 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro import __version__ as _library_version
+from repro.api.config import KGraphConfig
 from repro.core.graph_clustering import GraphPartition
 from repro.core.interpretability import LengthScore
 from repro.core.kgraph import KGraph, KGraphResult
-from repro.exceptions import ArtifactError, NotFittedError, ValidationError
+from repro.exceptions import ArtifactError, ConfigError, NotFittedError, ValidationError
 from repro.graph.graphoid import Graphoid
 from repro.graph.structure import TimeSeriesGraph
 from repro.utils.schema import check_schema_version
 
-ARTIFACT_FORMAT = "kgraph-model"
-#: v2 adds the optional ``pipeline`` manifest field: the stage pipeline's
-#: config hash plus the per-stage content-addressed cache keys of the fit
-#: that produced the model (``None`` for reference-monolith fits).  Readers
-#: accept v1 artifacts unchanged — the field is simply absent.
-ARTIFACT_SCHEMA_VERSION = 2
+ARTIFACT_FORMAT = "repro-model"
+#: Format names of artifacts written by earlier releases; readers accept
+#: them unchanged ("kgraph-model" was the v1/v2 era, when only k-Graph
+#: could be exported).
+LEGACY_ARTIFACT_FORMATS = frozenset({"kgraph-model"})
+#: v2 added the optional ``pipeline`` manifest field (the stage pipeline's
+#: config hash plus per-stage content-addressed cache keys).  v3 makes the
+#: format estimator-generic: the manifest records ``estimator`` (registry
+#: name), ``config`` (the typed config payload incl. its own version) and
+#: ``config_version``, so any registered estimator with a prediction state
+#: can be exported and served.  Readers accept v1/v2 artifacts unchanged —
+#: they are k-Graph by definition, reconstructed from the legacy ``params``
+#: block (a version-1 config payload).
+ARTIFACT_SCHEMA_VERSION = 3
 
 MANIFEST_FILE = "manifest.json"
 ARRAYS_FILE = "arrays.npz"
@@ -90,56 +102,22 @@ def _graphoid_from_payload(payload: Dict[str, object]) -> Graphoid:
 
 
 def _model_params(model: KGraph) -> Dict[str, object]:
-    """Constructor parameters, with non-serialisable seeds nulled out."""
-    random_state = model.random_state
-    if not (random_state is None or isinstance(random_state, (int, np.integer))):
-        # A live Generator cannot be represented faithfully; the loaded model
-        # is only used for prediction, which draws no randomness.
-        random_state = None
-    return {
-        "n_clusters": int(model.n_clusters),
-        "n_lengths": int(model.n_lengths),
-        "lengths": list(model.lengths) if model.lengths is not None else None,
-        "stride": int(model.stride),
-        "n_sectors": int(model.n_sectors),
-        "feature_mode": model.feature_mode,
-        "lambda_threshold": float(model.lambda_threshold),
-        "gamma_threshold": float(model.gamma_threshold),
-        "random_state": None if random_state is None else int(random_state),
-    }
+    """The legacy flat ``params`` block, derived from the typed config.
+
+    Kept in v3 manifests as a compatibility mirror of ``config`` (humans
+    and external tooling diff it); a live Generator seed is already nulled
+    by the config layer, which only records integer seeds.
+    """
+    payload = model.get_config().to_dict()
+    payload.pop("version")
+    return payload
 
 
 # --------------------------------------------------------------------------- #
 # public API
 # --------------------------------------------------------------------------- #
-def save_model(
-    model: KGraph,
-    path: Union[str, Path],
-    *,
-    dataset: Optional[str] = None,
-    metadata: Optional[Dict[str, object]] = None,
-) -> Path:
-    """Persist a fitted model as a versioned artifact directory.
-
-    Parameters
-    ----------
-    model:
-        A fitted :class:`KGraph`.
-    path:
-        Target directory (created if needed; existing artifact files are
-        overwritten, other existing content is rejected).
-    dataset:
-        Optional dataset name recorded in the manifest; registries use it to
-        shelve the artifact.
-    metadata:
-        Free-form JSON-serialisable annotations stored under
-        ``manifest["metadata"]``.
-    """
-    if model.result_ is None:
-        raise NotFittedError(
-            "cannot save an unfitted KGraph; call fit(data) before save_model()"
-        )
-    result = model.result_
+def _prepare_artifact_dir(path: Union[str, Path]) -> Path:
+    """Validate and create the target artifact directory."""
     path = Path(path)
     if path.exists() and not path.is_dir():
         raise ArtifactError(f"artifact path {path} exists and is not a directory")
@@ -152,6 +130,126 @@ def save_model(
                 f"(unexpected entries: {sorted(stray)[:5]})"
             )
     path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _write_artifact(
+    path: Path,
+    manifest: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    graph_payloads: List[Dict[str, object]],
+) -> Path:
+    """Write payloads first, then the manifest atomically (commit marker).
+
+    A crash mid-save leaves a directory without ``manifest.json``, which
+    the registry ignores, instead of a listed-but-unloadable (or
+    half-written) model.  For the same reason an overwrite un-commits the
+    old artifact first — a stale manifest must never describe
+    half-replaced payloads.
+    """
+    manifest_path = path / MANIFEST_FILE
+    if manifest_path.exists():
+        manifest_path.unlink()
+    with (path / ARRAYS_FILE).open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    with (path / GRAPHS_FILE).open("w", encoding="utf-8") as handle:
+        json.dump({"graphs": graph_payloads}, handle, sort_keys=True)
+    manifest_tmp = path / (MANIFEST_FILE + ".tmp")
+    with manifest_tmp.open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    os.replace(manifest_tmp, manifest_path)
+    return path
+
+
+def _manifest_header(
+    model, dataset: Optional[str], metadata: Optional[Dict[str, object]]
+) -> Dict[str, object]:
+    """The estimator-generic manifest fields every artifact carries."""
+    config = model.get_config()
+    return {
+        "format": ARTIFACT_FORMAT,
+        "schema_version": ARTIFACT_SCHEMA_VERSION,
+        "library_version": _library_version,
+        "created_unix": time.time(),
+        "dataset": dataset,
+        # Schema v3: the estimator's registry name plus its typed config
+        # payload — what makes the artifact loadable (and servable) for any
+        # registered estimator, not just k-Graph.
+        "estimator": getattr(model, "name", None) or config.config_name,
+        "config": config.to_dict(),
+        "config_version": int(type(config).version),
+        "metadata": dict(metadata) if metadata else {},
+    }
+
+
+def save_model(
+    model,
+    path: Union[str, Path],
+    *,
+    dataset: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Persist a fitted estimator as a versioned artifact directory.
+
+    Parameters
+    ----------
+    model:
+        A fitted estimator: a :class:`KGraph`, or any estimator exposing
+        the serving contract (``get_config`` plus the ``artifact_arrays``
+        / ``artifact_fitted`` payload hooks, e.g.
+        :class:`~repro.baselines.estimator.BaselineEstimator`).
+    path:
+        Target directory (created if needed; existing artifact files are
+        overwritten, other existing content is rejected).
+    dataset:
+        Optional dataset name recorded in the manifest; registries use it to
+        shelve the artifact.
+    metadata:
+        Free-form JSON-serialisable annotations stored under
+        ``manifest["metadata"]``.
+    """
+    if isinstance(model, KGraph):
+        return _save_kgraph_model(model, path, dataset=dataset, metadata=metadata)
+    if hasattr(model, "get_config") and hasattr(model, "artifact_arrays"):
+        return _save_estimator_model(model, path, dataset=dataset, metadata=metadata)
+    raise ArtifactError(
+        f"cannot save a {type(model).__name__}: not a KGraph and not an "
+        "estimator exposing the artifact payload hooks (get_config / "
+        "artifact_arrays / artifact_fitted)"
+    )
+
+
+def _save_estimator_model(
+    model,
+    path: Union[str, Path],
+    *,
+    dataset: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the generic (non-KGraph) estimator artifact layout."""
+    manifest = _manifest_header(model, dataset, metadata)
+    # artifact_fitted/artifact_arrays raise NotFittedError on unfitted
+    # estimators before anything touches the disk.
+    manifest["fitted"] = model.artifact_fitted()
+    arrays = model.artifact_arrays()
+    path = _prepare_artifact_dir(path)
+    return _write_artifact(path, manifest, arrays, graph_payloads=[])
+
+
+def _save_kgraph_model(
+    model: KGraph,
+    path: Union[str, Path],
+    *,
+    dataset: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Write the full k-Graph artifact layout (graphs, partitions, scores)."""
+    if model.result_ is None:
+        raise NotFittedError(
+            "cannot save an unfitted KGraph; call fit(data) before save_model()"
+        )
+    result = model.result_
+    path = _prepare_artifact_dir(path)
 
     arrays: Dict[str, np.ndarray] = {
         "labels": result.labels,
@@ -181,11 +279,7 @@ def save_model(
         )
 
     manifest: Dict[str, object] = {
-        "format": ARTIFACT_FORMAT,
-        "schema_version": ARTIFACT_SCHEMA_VERSION,
-        "library_version": _library_version,
-        "created_unix": time.time(),
-        "dataset": dataset,
+        **_manifest_header(model, dataset, metadata),
         "params": _model_params(model),
         "fitted": {
             "n_series": int(result.labels.shape[0]),
@@ -220,27 +314,9 @@ def save_model(
             if model.pipeline_report_ is not None
             else None
         ),
-        "metadata": dict(metadata) if metadata else {},
     }
 
-    # The manifest is written LAST, atomically (tmp + rename): it is the
-    # artifact's commit marker.  A crash mid-save leaves a directory without
-    # manifest.json, which the registry ignores, instead of a
-    # listed-but-unloadable (or half-written) model.  For the same reason an
-    # overwrite un-commits the old artifact first — a stale manifest must
-    # never describe half-replaced payloads.
-    manifest_path = path / MANIFEST_FILE
-    if manifest_path.exists():
-        manifest_path.unlink()
-    with (path / ARRAYS_FILE).open("wb") as handle:
-        np.savez_compressed(handle, **arrays)
-    with (path / GRAPHS_FILE).open("w", encoding="utf-8") as handle:
-        json.dump({"graphs": graph_payloads}, handle, sort_keys=True)
-    manifest_tmp = path / (MANIFEST_FILE + ".tmp")
-    with manifest_tmp.open("w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-    os.replace(manifest_tmp, manifest_path)
-    return path
+    return _write_artifact(path, manifest, arrays, graph_payloads)
 
 
 def read_manifest(path: Union[str, Path]) -> Dict[str, object]:
@@ -256,10 +332,11 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, object]:
         raise ArtifactError(f"could not read manifest of {path}: {exc}") from exc
     if not isinstance(manifest, dict):
         raise ArtifactError(f"manifest of {path} must be a JSON object")
-    if manifest.get("format") != ARTIFACT_FORMAT:
+    found_format = manifest.get("format")
+    if found_format != ARTIFACT_FORMAT and found_format not in LEGACY_ARTIFACT_FORMATS:
         raise ArtifactError(
-            f"{path} holds format {manifest.get('format')!r}, expected "
-            f"{ARTIFACT_FORMAT!r}"
+            f"{path} holds format {found_format!r}, expected "
+            f"{ARTIFACT_FORMAT!r} (or the legacy {sorted(LEGACY_ARTIFACT_FORMATS)})"
         )
     try:
         check_schema_version(
@@ -273,13 +350,16 @@ def read_manifest(path: Union[str, Path]) -> Dict[str, object]:
     return manifest
 
 
-def load_model(path: Union[str, Path]) -> KGraph:
-    """Reconstruct a fitted :class:`KGraph` from an artifact directory.
+def load_model(path: Union[str, Path]):
+    """Reconstruct a fitted estimator from an artifact directory.
 
-    The loaded estimator carries the full :class:`KGraphResult` (graphs,
-    partitions, consensus matrix, graphoids, scores), so every downstream
-    consumer — ``predict``, the Graphint frames, graphoid recomputation —
-    behaves exactly as it does on the in-memory original.
+    Dispatches on the manifest's ``estimator`` field (absent in v1/v2
+    artifacts, which are k-Graph by definition).  A loaded k-Graph carries
+    the full :class:`KGraphResult` (graphs, partitions, consensus matrix,
+    graphoids, scores), so every downstream consumer — ``predict``, the
+    Graphint frames, graphoid recomputation — behaves exactly as it does
+    on the in-memory original; other estimators are rebuilt from their
+    typed config plus their stored prediction payloads.
     """
     path = Path(path)
     manifest = read_manifest(path)
@@ -298,6 +378,94 @@ def load_model(path: Union[str, Path]) -> KGraph:
     except (OSError, json.JSONDecodeError, KeyError) as exc:
         raise ArtifactError(f"could not read graphs of {path}: {exc}") from exc
 
+    estimator_name = manifest.get("estimator", "kgraph")
+    if estimator_name != "kgraph":
+        return _load_estimator_model(path, estimator_name, manifest, arrays)
+    return _load_kgraph_model(path, manifest, arrays, graph_payloads)
+
+
+def _load_estimator_model(
+    path: Path,
+    estimator_name: str,
+    manifest: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+):
+    """Rebuild a non-KGraph estimator from its config + stored payloads.
+
+    Dispatches through the estimator registry — the spec provides the
+    config class and factory, the built estimator's ``restore_artifact``
+    hook rehydrates the fitted state — so any *registered* estimator
+    (including ones registered after this module shipped) loads without
+    this layer naming concrete classes.
+    """
+    from repro.api.registry import default_registry
+
+    for required in ("config", "fitted"):
+        if required not in manifest:
+            raise ArtifactError(
+                f"artifact {path} manifest is missing required field {required!r}"
+            )
+    try:
+        spec = default_registry().get(estimator_name)
+    except ValidationError as exc:
+        raise ArtifactError(
+            f"artifact {path} names unknown estimator {estimator_name!r}: {exc}"
+        ) from exc
+    try:
+        config = spec.config_cls.from_dict(manifest["config"])
+    except ConfigError as exc:
+        raise ArtifactError(
+            f"artifact {path} holds an unreadable estimator config: {exc}"
+        ) from exc
+    config_method = getattr(config, "method", None)
+    if config_method is not None and config_method != estimator_name:
+        raise ArtifactError(
+            f"artifact {path} names estimator {estimator_name!r} but its "
+            f"config is for method {config_method!r}"
+        )
+    try:
+        estimator = spec.build(config)
+        restore = getattr(estimator, "restore_artifact", None)
+        if restore is None:
+            raise ArtifactError(
+                f"estimator {estimator_name!r} does not expose the "
+                "restore_artifact hook artifact loading needs"
+            )
+        return restore(manifest["fitted"], arrays)
+    except ArtifactError:
+        raise
+    except (ValidationError, KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(
+            f"artifact {path} holds a corrupt {estimator_name!r} payload: {exc}"
+        ) from exc
+
+
+def _kgraph_from_manifest(path: Path, manifest: Dict[str, object]) -> KGraph:
+    """Build the (unfitted) KGraph shell an artifact describes.
+
+    v3 manifests carry the typed ``config`` payload; v1/v2 manifests carry
+    the flat ``params`` block, which is exactly a version-1
+    :class:`KGraphConfig` payload — one migration path, no field list
+    duplicated here.
+    """
+    if "config" in manifest:
+        payload = manifest["config"]
+    else:
+        payload = {**manifest["params"], "version": 1}
+    try:
+        return KGraph(config=KGraphConfig.from_dict(payload))
+    except ConfigError as exc:
+        raise ArtifactError(
+            f"artifact {path} holds an unreadable k-Graph config: {exc}"
+        ) from exc
+
+
+def _load_kgraph_model(
+    path: Path,
+    manifest: Dict[str, object],
+    arrays: Dict[str, np.ndarray],
+    graph_payloads: List[Dict[str, object]],
+) -> KGraph:
     for required in ("params", "fitted", "partitions", "length_scores"):
         if required not in manifest:
             raise ArtifactError(
@@ -308,23 +476,7 @@ def load_model(path: Union[str, Path]) -> KGraph:
             raise ArtifactError(
                 f"artifact {path} arrays are missing entry {required!r}"
             )
-    params = manifest["params"]
-    try:
-        model = KGraph(
-            params["n_clusters"],
-            n_lengths=params["n_lengths"],
-            lengths=params["lengths"],
-            stride=params["stride"],
-            n_sectors=params["n_sectors"],
-            feature_mode=params["feature_mode"],
-            lambda_threshold=params["lambda_threshold"],
-            gamma_threshold=params["gamma_threshold"],
-            random_state=params["random_state"],
-        )
-    except KeyError as exc:
-        raise ArtifactError(
-            f"artifact {path} manifest params are missing field {exc}"
-        ) from exc
+    model = _kgraph_from_manifest(path, manifest)
 
     graphs: Dict[int, TimeSeriesGraph] = {}
     for payload in graph_payloads:

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.kgraph import KGraph, PredictionState, predict_with_state
+from repro.api.protocol import ServableState
 from repro.exceptions import ServiceError, ValidationError
 from repro.parallel import (
     ExecutionBackend,
@@ -45,13 +45,19 @@ from repro.utils.validation import check_array
 class _PredictChunkJob:
     """Picklable payload: one chunk of a micro-batch for one backend worker."""
 
-    state: PredictionState
+    state: ServableState
     array: np.ndarray
 
 
 def _predict_chunk(job: _PredictChunkJob) -> np.ndarray:
-    """Module-level job function so process backends can run chunks too."""
-    return predict_with_state(job.state, job.array)
+    """Module-level job function so process backends can run chunks too.
+
+    Dispatches through the state's own ``predict_batch`` (the
+    :class:`~repro.api.protocol.ServableState` contract), so one engine
+    serves k-Graph's graph-profile states and baseline centroid states
+    alike.
+    """
+    return job.state.predict_batch(job.array)
 
 
 @dataclass
@@ -66,12 +72,14 @@ class _PendingRequest:
 
 
 class InferenceEngine:
-    """Micro-batching predict server around one fitted :class:`KGraph`.
+    """Micro-batching predict server around one fitted, servable estimator.
 
     Parameters
     ----------
     model:
-        The fitted model to serve.
+        The fitted model to serve — any estimator implementing
+        :class:`~repro.api.protocol.SupportsServing` (k-Graph, or a
+        baseline estimator with its centroid state).
     max_batch_size:
         Flush as soon as this many requests are pending.
     flush_interval:
@@ -89,7 +97,7 @@ class InferenceEngine:
 
     def __init__(
         self,
-        model: KGraph,
+        model,
         *,
         max_batch_size: int = 32,
         flush_interval: float = 0.005,
@@ -108,7 +116,7 @@ class InferenceEngine:
                 f"dispatch_chunk_size must be >= 1, got {dispatch_chunk_size}"
             )
         self.model = model
-        self.state: PredictionState = model.prediction_state()
+        self.state: ServableState = model.prediction_state()
         self.max_batch_size = int(max_batch_size)
         self.flush_interval = float(flush_interval)
         self.dispatch_chunk_size = int(dispatch_chunk_size)

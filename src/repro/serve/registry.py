@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.core.kgraph import KGraph
 from repro.exceptions import ArtifactError, ModelNotFoundError, ValidationError
 from repro.serve.artifacts import (
     ARRAYS_FILE,
@@ -56,6 +55,7 @@ class ModelRecord:
     n_clusters: int
     optimal_length: int
     library_version: str
+    estimator: str = "kgraph"
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable row for ``GET /models`` and the CLI."""
@@ -68,6 +68,7 @@ class ModelRecord:
             "n_clusters": self.n_clusters,
             "optimal_length": self.optimal_length,
             "library_version": self.library_version,
+            "estimator": self.estimator,
         }
 
 
@@ -84,6 +85,8 @@ def _record_from_manifest(
         n_clusters=int(fitted.get("n_clusters", 0)),
         optimal_length=int(fitted.get("optimal_length", 0)),
         library_version=str(manifest.get("library_version", "")),
+        # Absent in v1/v2 manifests, which are k-Graph by definition.
+        estimator=str(manifest.get("estimator", "kgraph")),
     )
 
 
@@ -104,7 +107,7 @@ class ModelRegistry:
             raise ValidationError(f"cache_size must be >= 1, got {cache_size}")
         self.root = Path(root)
         self.cache_size = int(cache_size)
-        self._cache: "OrderedDict[Tuple[str, str], KGraph]" = OrderedDict()
+        self._cache: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
         self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
@@ -156,13 +159,13 @@ class ModelRegistry:
 
     def publish(
         self,
-        model: KGraph,
+        model,
         dataset: str,
         *,
         model_id: Optional[str] = None,
         metadata: Optional[Dict[str, object]] = None,
     ) -> ModelRecord:
-        """Save a fitted model into the registry and return its record.
+        """Save a fitted estimator into the registry and return its record.
 
         Only the id allocation runs under the registry lock; the (slow)
         artifact write must not stall concurrent fetches or ``cache_stats``.
@@ -354,8 +357,8 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
     # fetching (LRU-cached)
     # ------------------------------------------------------------------ #
-    def fetch(self, dataset: str, model_id: Optional[str] = None) -> KGraph:
-        """Load a fitted model, serving repeats from the in-memory cache.
+    def fetch(self, dataset: str, model_id: Optional[str] = None):
+        """Load a fitted model (any estimator), serving repeats from the cache.
 
         Deserialisation of a cold artifact runs *outside* the registry lock
         — a slow multi-hundred-MB load must not stall ``cache_stats`` (the
@@ -389,7 +392,7 @@ class ModelRegistry:
             self._cache_put(key, model)
         return model
 
-    def _cache_put(self, key: Tuple[str, str], model: KGraph) -> None:
+    def _cache_put(self, key: Tuple[str, str], model) -> None:
         self._cache[key] = model
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:

@@ -20,6 +20,15 @@ Sub-commands:
   per stage
 * ``graphint pipeline inspect --cache DIR`` — list the checkpoints of a
   pipeline cache directory
+* ``graphint estimators list`` — every estimator registry name (k-Graph
+  plus the baselines) with family and description
+* ``graphint estimators describe NAME`` — one estimator's typed config:
+  fields, defaults, pipeline stages, help
+
+``cluster``, ``benchmark`` and ``pipeline run`` accept ``--config FILE``
+(a JSON estimator-config payload, sparse files allowed) and repeatable
+``--set KEY=VALUE`` overrides; values parse as JSON with a plain-string
+fallback (``--set feature_mode=edges --set lengths=[10,20]``).
 """
 
 from __future__ import annotations
@@ -28,15 +37,90 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.config import KGraphConfig
 from repro.benchmark.aggregate import summarize_by_method
 from repro.benchmark.runner import BenchmarkRunner
 from repro.benchmark.store import load_results, save_results
 from repro.datasets.catalogue import default_catalogue
+from repro.exceptions import ValidationError
 from repro.metrics.clustering import adjusted_rand_index
 from repro.viz.dashboard import build_dashboard
 from repro.viz.session import GraphintSession
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="JSON estimator-config file (a KGraphConfig payload for "
+        "cluster/pipeline, any config fields for benchmark); sparse files "
+        "are allowed — absent fields keep their defaults",
+    )
+    parser.add_argument(
+        "--set",
+        dest="set_options",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="config field override (repeatable); VALUE parses as JSON "
+        "with a plain-string fallback, e.g. --set n_sectors=16 "
+        "--set feature_mode=edges",
+    )
+
+
+def _parse_config_options(
+    args: argparse.Namespace,
+) -> Tuple[Optional[Dict[str, object]], Dict[str, object]]:
+    """Read ``--config FILE`` and parse ``--set KEY=VALUE`` overrides."""
+    payload: Optional[Dict[str, object]] = None
+    if getattr(args, "config", None):
+        text = Path(args.config).read_text(encoding="utf-8")
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"--config file {args.config} must hold a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+    overrides: Dict[str, object] = {}
+    for entry in getattr(args, "set_options", None) or []:
+        key, separator, value = entry.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ValidationError(f"--set expects KEY=VALUE, got {entry!r}")
+        try:
+            overrides[key] = json.loads(value)
+        except json.JSONDecodeError:
+            overrides[key] = value
+    return payload, overrides
+
+
+def _resolve_kgraph_config(
+    args: argparse.Namespace, dataset, *, default_seed: Optional[int]
+) -> Optional[KGraphConfig]:
+    """Build the KGraphConfig a command should fit with, or ``None``.
+
+    Returns ``None`` when neither ``--config`` nor ``--set`` was given, so
+    commands keep their legacy flag-driven path.  Explicit ``--clusters``
+    / ``--lengths`` flags override the config file; unset knobs default
+    from the dataset (``n_clusters``) and the command seed.
+    """
+    payload, overrides = _parse_config_options(args)
+    if payload is None and not overrides:
+        return None
+    merged_keys = set(payload or {}) | set(overrides)
+    if getattr(args, "clusters", None) is not None:
+        overrides["n_clusters"] = args.clusters
+    if getattr(args, "lengths", None) is not None:
+        overrides["n_lengths"] = args.lengths
+    merged_keys |= set(overrides)
+    if "n_clusters" not in merged_keys:
+        overrides["n_clusters"] = dataset.default_cluster_count()
+    if "random_state" not in merged_keys and default_seed is not None:
+        overrides["random_state"] = default_seed
+    return KGraphConfig.from_options(payload, overrides)
 
 
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
@@ -70,8 +154,12 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster = subparsers.add_parser("cluster", help="run k-Graph on one dataset")
     cluster.add_argument("--dataset", default="cylinder_bell_funnel")
     cluster.add_argument("--clusters", type=int, default=None)
-    cluster.add_argument("--lengths", type=int, default=4, help="number of subsequence lengths")
+    cluster.add_argument(
+        "--lengths", type=int, default=None,
+        help="number of subsequence lengths (default 4, or the --config value)",
+    )
     cluster.add_argument("--seed", type=int, default=0)
+    _add_config_arguments(cluster)
     _add_parallel_arguments(cluster)
 
     dashboard = subparsers.add_parser("dashboard", help="build the static HTML dashboard")
@@ -87,6 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
     benchmark.add_argument("--datasets", nargs="*", default=None)
     benchmark.add_argument("--runs", type=int, default=1)
     benchmark.add_argument("--seed", type=int, default=0)
+    _add_config_arguments(benchmark)
     _add_parallel_arguments(benchmark)
 
     serve = subparsers.add_parser("serve", help="start the interactive dashboard server")
@@ -145,8 +234,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     pipeline_run.add_argument("--dataset", default="cylinder_bell_funnel")
     pipeline_run.add_argument("--clusters", type=int, default=None)
-    pipeline_run.add_argument("--lengths", type=int, default=4, help="number of subsequence lengths")
+    pipeline_run.add_argument(
+        "--lengths", type=int, default=None,
+        help="number of subsequence lengths (default 4, or the --config value)",
+    )
     pipeline_run.add_argument("--seed", type=int, default=0)
+    _add_config_arguments(pipeline_run)
     pipeline_run.add_argument(
         "--cache",
         default=None,
@@ -173,6 +266,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "inspect", help="list the checkpoints of a pipeline cache directory"
     )
     pipeline_inspect.add_argument("--cache", required=True, help="stage checkpoint directory")
+
+    estimators = subparsers.add_parser(
+        "estimators", help="list registered estimators or describe one"
+    )
+    estimators_sub = estimators.add_subparsers(dest="estimators_command", required=True)
+    estimators_sub.add_parser("list", help="every estimator registry name")
+    estimators_describe = estimators_sub.add_parser(
+        "describe", help="one estimator's typed config: fields, defaults, help"
+    )
+    estimators_describe.add_argument("name", help="estimator registry name, e.g. kgraph")
     return parser
 
 
@@ -192,13 +295,19 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    try:
+        config = _resolve_kgraph_config(args, dataset, default_seed=args.seed)
+    except (ValidationError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     session = GraphintSession(
         dataset,
-        n_clusters=args.clusters,
-        n_lengths=args.lengths,
+        n_clusters=args.clusters if config is None else config.n_clusters,
+        n_lengths=(args.lengths if args.lengths is not None else 4),
         random_state=args.seed,
         backend=args.backend,
         n_jobs=args.jobs,
+        kgraph_config=config,
     ).fit()
     summary = session.summary()
     print(f"dataset            : {dataset.name} ({dataset.n_series} x {dataset.length})")
@@ -221,12 +330,22 @@ def _cmd_dashboard(args: argparse.Namespace) -> int:
 
 
 def _cmd_benchmark(args: argparse.Namespace) -> int:
+    try:
+        payload, overrides = _parse_config_options(args)
+    except (ValidationError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    config_overrides = {**(payload or {}), **overrides}
+    # A full config file carries its schema version; the campaign applies
+    # field overrides only.
+    config_overrides.pop("version", None)
     runner = BenchmarkRunner(
         args.methods,
         n_runs=args.runs,
         random_state=args.seed,
         backend=args.backend,
         n_jobs=args.jobs,
+        config_overrides=config_overrides or None,
     )
 
     def progress(method: str, dataset: str, result) -> None:
@@ -349,9 +468,22 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
-    n_clusters = args.clusters
-    if n_clusters is None:
-        n_clusters = dataset.default_cluster_count()
+    try:
+        config = _resolve_kgraph_config(args, dataset, default_seed=args.seed)
+    except (ValidationError, OSError, json.JSONDecodeError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if config is None:
+        n_clusters = args.clusters
+        if n_clusters is None:
+            n_clusters = dataset.default_cluster_count()
+        config = KGraphConfig.from_options(
+            overrides={
+                "n_clusters": n_clusters,
+                "n_lengths": args.lengths if args.lengths is not None else 4,
+                "random_state": args.seed,
+            }
+        )
 
     cache = None
     if args.cache is not None:
@@ -364,10 +496,8 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         print("--resume requires --cache DIR", file=sys.stderr)
         return 2
 
-    model = KGraph(
-        n_clusters,
-        n_lengths=args.lengths,
-        random_state=args.seed,
+    model = KGraph.from_config(
+        config,
         backend=args.backend,
         n_jobs=args.jobs,
         stage_backends=stage_backends or None,
@@ -422,6 +552,53 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return _cmd_pipeline_inspect(args)
 
 
+def _cmd_estimators_list(_: argparse.Namespace) -> int:
+    from repro.api import default_registry
+
+    specs = default_registry().specs()
+    width = max(len(spec.name) for spec in specs)
+    print(f"{'name':<{width}}  family   config          serve  description")
+    for spec in specs:
+        servable = "yes" if spec.servable else "no"
+        print(
+            f"{spec.name:<{width}}  {spec.family:<8} "
+            f"{spec.config_cls.__name__:<15} {servable:<6} {spec.description}"
+        )
+    return 0
+
+
+def _cmd_estimators_describe(args: argparse.Namespace) -> int:
+    from repro.api import default_registry
+
+    try:
+        spec = default_registry().get(args.name)
+    except ValidationError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    info = spec.describe()
+    print(f"name        : {info['name']}")
+    print(f"family      : {info['family']}")
+    print(f"servable    : {'yes' if info['servable'] else 'no'}")
+    print(f"config      : {info['config']} (version {info['config_version']})")
+    print(f"description : {info['description']}")
+    print()
+    name_width = max(len(row["name"]) for row in info["fields"])
+    print(f"{'field':<{name_width}}  {'default':<12} help")
+    for row in info["fields"]:
+        default = json.dumps(row["default"])
+        help_text = row["help"]
+        if row.get("stages"):
+            help_text += f" [stages: {', '.join(row['stages'])}]"
+        print(f"{row['name']:<{name_width}}  {default:<12} {help_text}")
+    return 0
+
+
+def _cmd_estimators(args: argparse.Namespace) -> int:
+    if args.estimators_command == "describe":
+        return _cmd_estimators_describe(args)
+    return _cmd_estimators_list(args)
+
+
 def _cmd_quiz(args: argparse.Namespace) -> int:
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
     session = GraphintSession(dataset, random_state=args.seed).fit()
@@ -444,6 +621,7 @@ _COMMANDS = {
     "export-model": _cmd_export_model,
     "import-model": _cmd_import_model,
     "pipeline": _cmd_pipeline,
+    "estimators": _cmd_estimators,
 }
 
 

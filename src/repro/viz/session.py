@@ -15,6 +15,7 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.api.config import KGraphConfig
 from repro.cluster.kmeans import KMeans
 from repro.cluster.kshape import KShape
 from repro.core.kgraph import KGraph
@@ -51,6 +52,14 @@ class GraphintSession:
         so the dashboard's k-Graph fit can use the parallel pipeline stages
         (see :mod:`repro.parallel`).  Serial by default; results are
         identical across backends for a fixed seed.
+    kgraph_config:
+        Optional :class:`~repro.api.KGraphConfig` governing the k-Graph
+        fit (the CLI's ``--config`` / ``--set`` plumbing).  When given it
+        is the source of truth for every k-Graph parameter except the
+        seed, which the session always draws from its own pool so the
+        whole analysis stays reproducible from one ``random_state``;
+        ``n_clusters`` defaults to the config's value and ``n_lengths``
+        is ignored in favour of the config.
     """
 
     dataset: TimeSeriesDataset
@@ -59,6 +68,7 @@ class GraphintSession:
     random_state: Optional[int] = None
     backend: Union[None, str, ExecutionBackend] = None
     n_jobs: Optional[int] = None
+    kgraph_config: Optional["KGraphConfig"] = None
 
     kgraph: KGraph = field(init=False)
     method_labels: Dict[str, np.ndarray] = field(init=False, default_factory=dict)
@@ -68,8 +78,18 @@ class GraphintSession:
     def __post_init__(self) -> None:
         if self.dataset.labels is None:
             raise ValidationError("GraphintSession requires a labelled dataset")
+        if self.kgraph_config is not None and not isinstance(
+            self.kgraph_config, KGraphConfig
+        ):
+            raise ValidationError(
+                "kgraph_config must be a KGraphConfig, got "
+                f"{type(self.kgraph_config).__name__}"
+            )
         if self.n_clusters is None:
-            self.n_clusters = max(self.dataset.n_classes, 2)
+            if self.kgraph_config is not None:
+                self.n_clusters = self.kgraph_config.n_clusters
+            else:
+                self.n_clusters = max(self.dataset.n_classes, 2)
         self.n_clusters = check_positive_int(self.n_clusters, "n_clusters", minimum=2)
         self.n_lengths = check_positive_int(self.n_lengths, "n_lengths")
         self._pool = SeedSequencePool(self.random_state)
@@ -82,13 +102,22 @@ class GraphintSession:
             return self
         data = self.dataset.data
 
-        self.kgraph = KGraph(
-            n_clusters=self.n_clusters,
-            n_lengths=self.n_lengths,
-            random_state=self._pool.next_seed(),
-            backend=self.backend,
-            n_jobs=self.n_jobs,
-        )
+        if self.kgraph_config is not None:
+            config = self.kgraph_config.replace(
+                n_clusters=self.n_clusters,
+                random_state=self._pool.next_seed(),
+            )
+            self.kgraph = KGraph.from_config(
+                config, backend=self.backend, n_jobs=self.n_jobs
+            )
+        else:
+            self.kgraph = KGraph(
+                n_clusters=self.n_clusters,
+                n_lengths=self.n_lengths,
+                random_state=self._pool.next_seed(),
+                backend=self.backend,
+                n_jobs=self.n_jobs,
+            )
         self.method_labels["kgraph"] = self.kgraph.fit_predict(data)
 
         kmeans = KMeans(
