@@ -11,17 +11,28 @@ cache, then
    and the partially replayed fit must be bit-identical to a cold
    reference fit of the changed configuration.
 
+With ``--cache-budget BYTES`` a third phase runs the same fits through a
+byte-budgeted :class:`~repro.pipeline.DiskStageCache`: churning several
+configurations through a cache too small to hold them all must evict
+checkpoints (visible in ``stats()``), never exceed the budget on disk,
+and an evicted stage must degrade to a re-run with bit-identical results
+— the economics counterpart of the replay invariants above.
+
 Exit status: 0 when every invariant holds, 1 otherwise.  This is the
 cheap, deterministic guard for the resumability contract of
-``repro.pipeline`` (the full matrix lives in ``tests/test_pipeline.py``).
+``repro.pipeline`` (the full matrix lives in ``tests/test_pipeline.py``
+and ``tests/test_cache_economics.py``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/pipeline_resume_smoke.py
+    PYTHONPATH=src python benchmarks/pipeline_resume_smoke.py \
+        --cache-budget 65536 --cache-policy lru
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import tempfile
 
@@ -29,7 +40,7 @@ import numpy as np
 
 from repro.core.kgraph import KGraph
 from repro.datasets.synthetic import make_cylinder_bell_funnel
-from repro.pipeline import KGRAPH_STAGE_NAMES
+from repro.pipeline import KGRAPH_STAGE_NAMES, DiskStageCache
 
 ALL_STAGES = list(KGRAPH_STAGE_NAMES)
 
@@ -41,7 +52,70 @@ def _check(condition: bool, message: str, failures: list) -> None:
         failures.append(message)
 
 
-def main() -> int:
+def _budgeted_phase(dataset, budget: int, policy: str, failures: list) -> None:
+    print(f"budgeted resume (--cache-budget {budget}, policy {policy})")
+    with tempfile.TemporaryDirectory(prefix="kgraph-budget-cache-") as cache_dir:
+        cache = DiskStageCache(cache_dir, budget_bytes=budget, policy=policy)
+        params = dict(n_clusters=3, n_lengths=2, random_state=0)
+        cold = KGraph(**params, stage_cache=cache).fit(dataset.data)
+        _check(
+            cache.total_bytes() <= budget,
+            f"budget holds after the cold fit ({cache.total_bytes()} <= {budget})",
+            failures,
+        )
+        # Churn differently-seeded fits through the cache: their
+        # checkpoints compete for the same byte budget.
+        for seed in (1, 2, 3):
+            KGraph(**dict(params, random_state=seed), stage_cache=cache).fit(
+                dataset.data
+            )
+            _check(
+                cache.total_bytes() <= budget,
+                f"budget holds after churn fit seed={seed} "
+                f"({cache.total_bytes()} <= {budget})",
+                failures,
+            )
+        stats = cache.stats()
+        _check(
+            stats["evictions"] > 0,
+            f"the churn evicted checkpoints (evictions={stats['evictions']})",
+            failures,
+        )
+        refit = KGraph(**params, stage_cache=cache).fit(dataset.data)
+        _check(
+            np.array_equal(refit.labels_, cold.labels_)
+            and np.array_equal(
+                refit.result_.consensus_matrix, cold.result_.consensus_matrix
+            ),
+            "re-fit after eviction churn is bit-identical to the cold fit "
+            f"(cached={refit.pipeline_report_.cached}, "
+            f"executed={refit.pipeline_report_.executed})",
+            failures,
+        )
+        stats = cache.stats()
+        print(
+            f"  stats: entries={stats['entries']} total_bytes={stats['total_bytes']} "
+            f"evictions={stats['evictions']} hits={stats['hits']} "
+            f"misses={stats['misses']} stores={stats['stores']}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cache-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="also exercise a byte-budgeted DiskStageCache under churn",
+    )
+    parser.add_argument(
+        "--cache-policy",
+        choices=("lru", "lfu"),
+        default="lru",
+        help="eviction policy for --cache-budget (default: lru)",
+    )
+    args = parser.parse_args(argv)
     dataset = make_cylinder_bell_funnel(
         n_series=15, length=48, noise=0.2, random_state=0
     )
@@ -97,6 +171,9 @@ def main() -> int:
             "partially replayed fit is bit-identical to a cold reference fit",
             failures,
         )
+
+    if args.cache_budget is not None:
+        _budgeted_phase(dataset, args.cache_budget, args.cache_policy, failures)
 
     if failures:
         print(f"\npipeline resume smoke FAILED ({len(failures)} check(s)):", file=sys.stderr)

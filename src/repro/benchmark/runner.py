@@ -353,6 +353,8 @@ class BenchmarkRunner:
         *,
         base: Union[None, Dict[str, object], "EstimatorConfig"] = None,
         stage_cache=None,
+        cache_budget: Optional[int] = None,
+        cache_policy: str = "lru",
         random_state=0,
         progress: Optional[ProgressCallback] = None,
     ) -> List[BenchmarkResult]:
@@ -385,6 +387,12 @@ class BenchmarkRunner:
             k-Graph only: checkpoint store shared across the grid (a
             :class:`~repro.pipeline.StageCache`, a directory path, or
             ``None`` for a fresh in-memory cache scoped to this call).
+        cache_budget, cache_policy:
+            k-Graph only: byte budget and eviction policy (``"lru"`` /
+            ``"lfu"``) applied when ``stage_cache`` is a directory path —
+            a paper-scale sweep can share one bounded on-disk cache.
+            Rejected when ``stage_cache`` is an already-configured
+            :class:`~repro.pipeline.StageCache` instance.
         random_state:
             Seed used by *every* combination — a shared seed is what makes
             upstream checkpoints hit across the grid.
@@ -461,7 +469,9 @@ class BenchmarkRunner:
         if is_kgraph:
             from repro.pipeline import MemoryStageCache, resolve_stage_cache
 
-            cache = resolve_stage_cache(stage_cache)
+            cache = resolve_stage_cache(
+                stage_cache, budget_bytes=cache_budget, policy=cache_policy
+            )
             if cache is None:
                 cache = MemoryStageCache(max_entries=64)
 
@@ -512,6 +522,8 @@ class BenchmarkRunner:
         *,
         base_params: Optional[Dict[str, object]] = None,
         stage_cache=None,
+        cache_budget: Optional[int] = None,
+        cache_policy: str = "lru",
         random_state=0,
         progress: Optional[ProgressCallback] = None,
     ) -> List[BenchmarkResult]:
@@ -527,6 +539,8 @@ class BenchmarkRunner:
             grid,
             base=base_params,
             stage_cache=stage_cache,
+            cache_budget=cache_budget,
+            cache_policy=cache_policy,
             random_state=random_state,
             progress=progress,
         )

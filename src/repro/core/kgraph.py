@@ -90,6 +90,10 @@ class KGraphResult:
     lambda_graphoids: Dict[int, Graphoid] = field(default_factory=dict)
     gamma_graphoids: Dict[int, Graphoid] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Per-stage pickled payload bytes shipped to process backends during
+    #: the fit (stage name -> bytes); empty for serial/thread fits and for
+    #: models fitted by the reference monolith or loaded from artifacts.
+    bytes_shipped: Dict[str, int] = field(default_factory=dict)
 
     @property
     def optimal_graph(self) -> TimeSeriesGraph:
@@ -144,6 +148,9 @@ class KGraphResult:
             },
             "timings": dict(self.timings),
             "stage_timings": self.stage_timings(),
+            "stage_bytes_shipped": {
+                name: int(value) for name, value in self.bytes_shipped.items()
+            },
         }
 
 
@@ -461,6 +468,12 @@ class KGraph:
         unchanged and re-executes only the affected stages — results are
         identical either way.  ``fit`` records what happened on
         ``pipeline_report_``.
+    fuse_stages:
+        Fused dispatch of the embed→graph_cluster stage pair: ``None``
+        (default) fuses automatically when both stages run on one shared
+        process backend, ``True`` forces fusing, ``False`` disables it.
+        A runtime-only knob like ``backend`` — it never changes results or
+        cache keys, only how many process round-trips the fit costs.
 
     Examples
     --------
@@ -490,6 +503,7 @@ class KGraph:
         n_jobs: Optional[int] = None,
         stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
         stage_cache=None,
+        fuse_stages: Optional[bool] = None,
     ) -> None:
         overrides = {
             name: value
@@ -545,6 +559,11 @@ class KGraph:
             )
         self.stage_backends = stage_backends
         self.stage_cache = stage_cache
+        if fuse_stages is not None and not isinstance(fuse_stages, bool):
+            raise ValidationError(
+                f"fuse_stages must be None, True or False, got {fuse_stages!r}"
+            )
+        self.fuse_stages = fuse_stages
 
         self.result_: Optional[KGraphResult] = None
         self.labels_: Optional[np.ndarray] = None
@@ -620,13 +639,14 @@ class KGraph:
         n_jobs: Optional[int] = None,
         stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
         stage_cache=None,
+        fuse_stages: Optional[bool] = None,
     ) -> "KGraph":
         """Build an estimator from its config plus runtime-only knobs.
 
         ``from_config(est.get_config())`` refits bit-identically to ``est``
         under the same seed: the config carries every result-affecting
-        parameter, and the runtime knobs (backend, jobs, caches) never
-        change results.
+        parameter, and the runtime knobs (backend, jobs, caches, fusing)
+        never change results.
         """
         return cls(
             config=config,
@@ -634,6 +654,7 @@ class KGraph:
             n_jobs=n_jobs,
             stage_backends=stage_backends,
             stage_cache=stage_cache,
+            fuse_stages=fuse_stages,
         )
 
     def summary(self) -> Dict[str, object]:
@@ -745,7 +766,10 @@ class KGraph:
             stage_backends=stage_backends,
         )
         report = pipeline.run(
-            ctx, cache=cache, config_hash=self.config.config_hash()
+            ctx,
+            cache=cache,
+            config_hash=self.config.config_hash(),
+            fuse=self.fuse_stages,
         )
 
         self.result_ = KGraphResult(
@@ -758,6 +782,7 @@ class KGraph:
             lambda_graphoids=ctx.values["lambda_graphoids"],
             gamma_graphoids=ctx.values["gamma_graphoids"],
             timings=ctx.watch.totals(),
+            bytes_shipped=dict(ctx.bytes_shipped),
         )
         self.labels_ = self.result_.labels
         self.pipeline_report_ = report

@@ -25,7 +25,8 @@ Three backends ship today:
 * :class:`SharedMemoryBackend` — a process pool whose jobs ship large
   NumPy arrays through zero-copy POSIX shared memory (written once per
   fan-out, identity-deduplicated across jobs) instead of re-pickling the
-  dataset per job; select with ``backend="shared"``.
+  dataset per job, and ships large *result* arrays back through worker-
+  written segments too; select with ``backend="shared"``.
 
 Every user-facing entry point threads the same two keywords down to
 :func:`resolve_backend`::
@@ -52,11 +53,14 @@ from repro.parallel.backends import (
     SerialBackend,
     ThreadBackend,
     backend_scope,
+    pickled_nbytes,
     resolve_backend,
 )
 from repro.parallel.shared import (
     SharedArrayPlan,
     SharedMemoryBackend,
+    SharedResultPlan,
+    publish_result_arrays,
     substitute_shared_arrays,
 )
 
@@ -67,8 +71,11 @@ __all__ = [
     "SerialBackend",
     "SharedArrayPlan",
     "SharedMemoryBackend",
+    "SharedResultPlan",
     "ThreadBackend",
     "backend_scope",
+    "pickled_nbytes",
+    "publish_result_arrays",
     "resolve_backend",
     "substitute_shared_arrays",
 ]

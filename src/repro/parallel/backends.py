@@ -22,6 +22,7 @@ Design rules every backend must follow:
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 import time
 import traceback as traceback_module
@@ -78,6 +79,24 @@ class JobOutcome:
         if self.exception is not None:
             raise self.exception
         raise ParallelExecutionError(f"job {self.index} failed: {self.error}")
+
+
+def pickled_nbytes(obj: Any) -> int:
+    """Bytes ``obj`` occupies on the wire when shipped to a process pool.
+
+    Measured with protocol 5 and an out-of-band ``buffer_callback``, so the
+    raw pages of large NumPy arrays are *counted* (``memoryview.nbytes``)
+    but never copied — the accounting costs metadata pickling only, which
+    is why the process backends can afford it on every dispatch.  Objects
+    that cannot be pickled measure as 0: the submission itself will surface
+    the real error, the accounting must not.
+    """
+    buffers: List[pickle.PickleBuffer] = []
+    try:
+        data = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    except Exception:  # noqa: BLE001 - unpicklable payloads fail at submit time
+        return 0
+    return len(data) + sum(buffer.raw().nbytes for buffer in buffers)
 
 
 def _execute_one(fn: Callable[[Any], Any], index: int, job: Any) -> JobOutcome:
@@ -269,6 +288,10 @@ class ProcessBackend(ExecutionBackend):
             raise ValidationError(f"chunk_size must be >= 1, got {chunk_size}")
         self.n_workers = None if n_workers is None else int(n_workers)
         self.chunk_size = int(chunk_size)
+        #: Cumulative pickled payload bytes submitted across every
+        #: ``map_jobs`` call (jobs only, not results) — callers snapshot it
+        #: around a dispatch to attribute transfer volume per fan-out.
+        self.bytes_shipped = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
 
@@ -282,6 +305,19 @@ class ProcessBackend(ExecutionBackend):
         # ThreadBackend._executor).
         with self._pool_lock:
             if self._pool is None:
+                # Start the multiprocessing resource tracker *before* any
+                # worker can fork: workers then inherit (fork) or are handed
+                # (spawn) the coordinator's tracker, so shared-memory
+                # registrations land in one shared set no matter which
+                # process creates, attaches or unlinks a segment.  Without
+                # this, a worker forked before the tracker exists spins up
+                # its own and warns about segments the coordinator unlinks.
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.ensure_running()
+                except Exception:  # noqa: BLE001 - tracker is an optimisation
+                    pass
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.n_workers or os.cpu_count() or 1
                 )
@@ -303,6 +339,7 @@ class ProcessBackend(ExecutionBackend):
         jobs = list(jobs)
         if not jobs:
             return []
+        self.bytes_shipped += sum(pickled_nbytes(job) for job in jobs)
         indexed = list(enumerate(jobs))
         chunks = [
             indexed[start : start + self.chunk_size]

@@ -16,8 +16,16 @@ This module removes that cost:
   by object identity, so callers and job functions keep working with plain
   arrays and nothing else in the codebase changes.
 
-Results still travel back through normal pickling — they are distinct per
-job; only the repeated *inputs* are worth sharing.
+Large *results* travel the same road in the opposite direction: the
+backend wraps the job function so workers park every big result ndarray in
+a fresh segment and ship back a tiny :class:`_SharedResultRef`
+(:func:`publish_result_arrays`).  The coordinator's
+:class:`SharedResultPlan` attaches each segment, **copies** the array out
+(copy-on-detach: results must outlive the segment) and unlinks it
+immediately, so result segments live only for the attach-copy window and
+every one is accounted for.  Sharing results is on by default
+(``share_results=True``) and degrades to plain pickling per result if a
+worker cannot create segments.
 
 Worker-side views are marked read-only: jobs receive the caller's dataset
 by reference, and silently mutating it from several workers would be a
@@ -32,6 +40,7 @@ When shared memory is unavailable (exotic platforms, exhausted
 from __future__ import annotations
 
 import dataclasses
+import traceback as traceback_module
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -42,7 +51,7 @@ try:  # pragma: no cover - import succeeds on every supported platform
 except ImportError:  # pragma: no cover
     _shared_memory = None
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ParallelExecutionError, ValidationError
 from repro.parallel.backends import JobOutcome, OnResult, ProcessBackend
 
 #: Arrays smaller than this travel as plain pickles: a shared-memory
@@ -60,6 +69,36 @@ DEFAULT_MIN_SHARE_BYTES = 64 * 1024
 _ATTACHED: "OrderedDict[str, Any]" = OrderedDict()
 _ATTACH_CACHE_LIMIT = 2
 
+def _tracker_disown(shm: Any) -> None:
+    """Drop the resource-tracker registration for a segment we will not unlink.
+
+    On Python < 3.13 ``SharedMemory(create=True)`` (and plain attach)
+    register the name with the resource tracker.  Result segments are
+    created in a worker but unlinked by the coordinator, so the worker
+    balances its own registration immediately after creating — otherwise
+    the registration dangles and, if the worker's tracker is private (it
+    forked before any tracker existed), warns about "leaked shared_memory
+    objects" at shutdown.  :meth:`ProcessBackend._executor` starts the
+    tracker before the pool so workers normally share the coordinator's
+    tracker, making this a balanced add/remove on one shared set.
+    """
+    try:  # pragma: no cover - exercised only on Python < 3.13
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - bookkeeping must never fail a job
+        pass
+
+
+def _tracker_adopt(shm: Any) -> None:
+    """Re-register a disowned segment so ``unlink`` can unregister it."""
+    try:  # pragma: no cover - exercised only on Python < 3.13
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001
+        pass
+
 
 def _prune_attached() -> None:
     """Drop attached segments whose views are gone, oldest first."""
@@ -67,11 +106,17 @@ def _prune_attached() -> None:
         name, shm = next(iter(_ATTACHED.items()))
         try:
             shm.close()
-        except Exception:
+        except BufferError:
             # A live view still exports the buffer: keep the segment and
             # stop pruning (younger entries are even more likely in use).
             _ATTACHED.move_to_end(name)
             return
+        except Exception:  # noqa: BLE001 - any other failure means the
+            # handle is already unusable (torn mapping, double close):
+            # keeping it would pin the cache forever and stop all future
+            # pruning, leaking every segment attached after it.  Drop it —
+            # the mapping, if any survives, is released with the process.
+            pass
         del _ATTACHED[name]
 
 
@@ -86,11 +131,10 @@ def _attach_shared_array(name: str, shape: Tuple[int, ...], dtype: str) -> np.nd
         try:
             shm = _shared_memory.SharedMemory(name=name, track=False)
         except TypeError:  # pragma: no cover - track= needs Python >= 3.13
-            # < 3.13 registers attached segments with the (process-tree
-            # shared) resource tracker.  The registry is a set, so this
-            # duplicate registration collapses into the creator's entry and
-            # the parent's unlink balances it — unregistering here instead
-            # would double-remove and make the tracker raise.
+            # < 3.13 also registers the attach with the resource tracker.
+            # Workers share the coordinator's tracker (started before the
+            # pool, see ProcessBackend._executor), so this is an idempotent
+            # re-add of a name the coordinator's unlink removes exactly once.
             shm = _shared_memory.SharedMemory(name=name)
         _ATTACHED[name] = shm
         _prune_attached()
@@ -182,54 +226,231 @@ class SharedArrayPlan:
         self.close()
 
 
+#: Containers are walked to this fixed depth (payload containers, not
+#: arbitrary object graphs) by every array-swapping traversal below.
+_PAYLOAD_DEPTH = 3
+
+
+def _swap_leaves(value: Any, swap: Callable[[Any], Any], _depth: int) -> Any:
+    """Rebuild ``value`` with ``swap`` applied to every non-container leaf.
+
+    Walks dataclass fields, dict values and tuple/list elements up to a
+    small fixed depth and rebuilds each container only when something
+    actually changed, so payloads without matching leaves pass through
+    untouched (by identity).  Shared by job substitution
+    (ndarray -> :class:`_SharedArrayRef`) and the two result directions
+    (ndarray -> :class:`_SharedResultRef` worker-side, ref -> ndarray
+    coordinator-side).
+    """
+    if not isinstance(value, (dict, tuple, list)) and not (
+        dataclasses.is_dataclass(value) and not isinstance(value, type)
+    ):
+        return swap(value)
+    if _depth <= 0:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        changes = {}
+        for field in dataclasses.fields(value):
+            item = getattr(value, field.name)
+            replaced = _swap_leaves(item, swap, _depth - 1)
+            if replaced is not item:
+                changes[field.name] = replaced
+        return dataclasses.replace(value, **changes) if changes else value
+    if isinstance(value, dict):
+        replaced_items = {
+            key: _swap_leaves(item, swap, _depth - 1) for key, item in value.items()
+        }
+        if all(replaced_items[key] is value[key] for key in value):
+            return value
+        return replaced_items
+    replaced_seq = [_swap_leaves(item, swap, _depth - 1) for item in value]
+    if all(new is old for new, old in zip(replaced_seq, value)):
+        return value
+    if isinstance(value, tuple):
+        # Preserve namedtuples (their constructor takes positional args).
+        cls = type(value)
+        return cls(*replaced_seq) if hasattr(cls, "_fields") else tuple(replaced_seq)
+    return replaced_seq
+
+
 def substitute_shared_arrays(
     job: Any,
     plan: SharedArrayPlan,
     min_bytes: int = DEFAULT_MIN_SHARE_BYTES,
-    _depth: int = 3,
+    _depth: int = _PAYLOAD_DEPTH,
 ) -> Any:
-    """Return ``job`` with every large ndarray swapped for a shared reference.
+    """Return ``job`` with every large ndarray swapped for a shared reference."""
 
-    Walks dataclass fields, dict values and tuple/list elements up to a
-    small fixed depth (payload containers, not arbitrary object graphs) and
-    rebuilds the container only when something actually changed, so jobs
-    without arrays pass through untouched.
+    def swap(leaf: Any) -> Any:
+        if isinstance(leaf, np.ndarray) and leaf.nbytes >= min_bytes:
+            return plan.share(leaf)
+        return leaf
+
+    return _swap_leaves(job, swap, _depth)
+
+
+# --------------------------------------------------------------------------- #
+# zero-copy result return (worker writes, coordinator attaches + unlinks)
+# --------------------------------------------------------------------------- #
+class _SharedResultRef:
+    """Picklable descriptor of a result array a worker parked in a segment.
+
+    Unlike :class:`_SharedArrayRef` it does **not** auto-attach on
+    unpickling: the coordinator resolves refs explicitly through a
+    :class:`SharedResultPlan` so every segment's attach/copy/unlink is
+    accounted for exactly once.
     """
-    if isinstance(job, np.ndarray):
-        if job.nbytes >= min_bytes:
-            return plan.share(job)
-        return job
-    if _depth <= 0:
-        return job
-    if dataclasses.is_dataclass(job) and not isinstance(job, type):
-        changes = {}
-        for field in dataclasses.fields(job):
-            value = getattr(job, field.name)
-            replaced = substitute_shared_arrays(value, plan, min_bytes, _depth - 1)
-            if replaced is not value:
-                changes[field.name] = replaced
-        return dataclasses.replace(job, **changes) if changes else job
-    if isinstance(job, dict):
-        replaced_items = {
-            key: substitute_shared_arrays(value, plan, min_bytes, _depth - 1)
-            for key, value in job.items()
-        }
-        if all(replaced_items[key] is job[key] for key in job):
-            return job
-        return replaced_items
-    if isinstance(job, (tuple, list)):
-        replaced_seq = [
-            substitute_shared_arrays(value, plan, min_bytes, _depth - 1)
-            for value in job
-        ]
-        if all(new is old for new, old in zip(replaced_seq, job)):
-            return job
-        if isinstance(job, tuple):
-            # Preserve namedtuples (their constructor takes positional args).
-            cls = type(job)
-            return cls(*replaced_seq) if hasattr(cls, "_fields") else tuple(replaced_seq)
-        return replaced_seq
-    return job
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype: str) -> None:
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __reduce__(self):
+        return (_SharedResultRef, (self.name, self.shape, self.dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"_SharedResultRef(name={self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype})"
+        )
+
+
+def _create_segment(nbytes: int):
+    """Create an untracked segment (the creator is never the unlinker here).
+
+    Result segments are created in a worker but unlinked by the
+    coordinator, so the creating process must not hold a resource-tracker
+    registration: on < 3.13 (no ``track=``) the registration is dropped
+    right after creation and the segment is marked disowned, which
+    :func:`_destroy_segment` undoes if the worker has to roll back.
+    """
+    try:
+        return _shared_memory.SharedMemory(create=True, size=max(1, nbytes), track=False)
+    except TypeError:  # pragma: no cover - track= needs Python >= 3.13
+        shm = _shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        _tracker_disown(shm)
+        shm._repro_disowned = True
+        return shm
+
+
+def _destroy_segment(shm: Any) -> None:
+    """Best-effort close + unlink of a segment this process created."""
+    try:
+        shm.close()
+    except Exception:  # noqa: BLE001 - best-effort rollback
+        pass
+    if getattr(shm, "_repro_disowned", False):
+        # unlink() unregisters on < 3.13; restore the registration first so
+        # the tracker is not asked to remove a name it no longer holds.
+        _tracker_adopt(shm)
+    try:
+        shm.unlink()
+    except Exception:  # noqa: BLE001
+        pass
+
+
+def publish_result_arrays(
+    value: Any, min_bytes: int = DEFAULT_MIN_SHARE_BYTES
+) -> Any:
+    """Worker-side: park every large result ndarray in shared memory.
+
+    Returns ``value`` with each ndarray of at least ``min_bytes`` replaced
+    by a :class:`_SharedResultRef`; the worker's own handles are closed
+    before returning (the segment stays alive under its name until the
+    coordinator unlinks it).  Any failure — shared memory unavailable,
+    ``/dev/shm`` exhausted mid-walk — unlinks whatever this call already
+    created and returns the original ``value`` untouched, degrading that
+    one result to plain pickling.
+    """
+    if _shared_memory is None:  # pragma: no cover - platform dependent
+        return value
+    created: List[Any] = []
+
+    def swap(leaf: Any) -> Any:
+        if not isinstance(leaf, np.ndarray) or leaf.nbytes < min_bytes:
+            return leaf
+        contiguous = np.ascontiguousarray(leaf)
+        shm = _create_segment(contiguous.nbytes)
+        created.append(shm)
+        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=shm.buf)
+        view[...] = contiguous
+        return _SharedResultRef(shm.name, contiguous.shape, contiguous.dtype.str)
+
+    try:
+        replaced = _swap_leaves(value, swap, _PAYLOAD_DEPTH)
+    except Exception:  # noqa: BLE001 - degrade this result to plain pickling
+        for shm in created:
+            _destroy_segment(shm)
+        return value
+    for shm in created:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - buffer still exported
+            pass
+    return replaced
+
+
+class SharedResultPlan:
+    """Coordinator-side resolver for worker-published result segments.
+
+    ``resolve`` walks a job result, attaches every
+    :class:`_SharedResultRef`, **copies** the array out (copy-on-detach:
+    the result must stay valid after the segment is gone) and closes +
+    unlinks the segment immediately, keeping per-plan accounting of
+    segments and bytes recovered.  A segment that cannot be attached
+    raises — the backend converts that outcome into a per-job error, it
+    never silently hands back a ref.
+    """
+
+    def __init__(self) -> None:
+        self.segments_resolved = 0
+        self.bytes_resolved = 0
+
+    def resolve(self, value: Any) -> Any:
+        def swap(leaf: Any) -> Any:
+            if not isinstance(leaf, _SharedResultRef):
+                return leaf
+            try:
+                try:
+                    shm = _shared_memory.SharedMemory(name=leaf.name, track=False)
+                except TypeError:  # pragma: no cover - Python < 3.13
+                    shm = _shared_memory.SharedMemory(name=leaf.name)
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"result segment {leaf.name!r} could not be attached: {exc}"
+                ) from exc
+            try:
+                view = np.ndarray(leaf.shape, dtype=np.dtype(leaf.dtype), buffer=shm.buf)
+                array = np.array(view)
+                del view
+            finally:
+                try:
+                    shm.close()
+                except Exception:  # pragma: no cover - best-effort teardown
+                    pass
+                try:
+                    shm.unlink()
+                except Exception:  # pragma: no cover - already unlinked
+                    pass
+            self.segments_resolved += 1
+            self.bytes_resolved += array.nbytes
+            return array
+
+        return _swap_leaves(value, swap, _PAYLOAD_DEPTH)
+
+
+class _PublishingRunner:
+    """Picklable wrapper: run the job function, then park large results."""
+
+    def __init__(self, fn: Callable[[Any], Any], min_bytes: int) -> None:
+        self.fn = fn
+        self.min_bytes = min_bytes
+
+    def __call__(self, job: Any) -> Any:
+        return publish_result_arrays(self.fn(job), self.min_bytes)
 
 
 class SharedMemoryBackend(ProcessBackend):
@@ -243,6 +464,14 @@ class SharedMemoryBackend(ProcessBackend):
     once instead of once per job.  Worker-side views are read-only; see the
     module docstring for lifecycle details.
 
+    With ``share_results=True`` (the default) the reverse direction is
+    zero-pickle too: workers park every result ndarray of at least
+    ``min_result_bytes`` in a fresh segment and the coordinator copies it
+    out and unlinks before the caller (or its ``on_result`` callback) ever
+    sees the outcome — callers always receive plain arrays.  Cumulative
+    recovery counters live on :attr:`result_segments` /
+    :attr:`result_bytes`.
+
     Select it anywhere a backend is accepted with ``backend="shared"``
     (aliases ``"shared_memory"``) or by passing an instance.
     """
@@ -255,13 +484,42 @@ class SharedMemoryBackend(ProcessBackend):
         *,
         chunk_size: int = 1,
         min_share_bytes: int = DEFAULT_MIN_SHARE_BYTES,
+        share_results: bool = True,
+        min_result_bytes: int = DEFAULT_MIN_SHARE_BYTES,
     ) -> None:
         super().__init__(n_workers, chunk_size=chunk_size)
         if int(min_share_bytes) < 0:
             raise ValidationError(
                 f"min_share_bytes must be >= 0, got {min_share_bytes}"
             )
+        if int(min_result_bytes) < 0:
+            raise ValidationError(
+                f"min_result_bytes must be >= 0, got {min_result_bytes}"
+            )
         self.min_share_bytes = int(min_share_bytes)
+        self.share_results = bool(share_results)
+        self.min_result_bytes = int(min_result_bytes)
+        #: Cumulative count / bytes of result arrays recovered from
+        #: worker-published segments across every ``map_jobs`` call.
+        self.result_segments = 0
+        self.result_bytes = 0
+
+    def _resolve_outcome(self, outcome: JobOutcome, plan: SharedResultPlan) -> None:
+        """Swap any published refs in ``outcome.value`` for copied arrays.
+
+        A resolution failure (the segment vanished, attach denied) becomes
+        a per-job error on the outcome — same isolation contract as a
+        raising job.
+        """
+        if not outcome.ok or outcome.value is None:
+            return
+        try:
+            outcome.value = plan.resolve(outcome.value)
+        except Exception as exc:  # noqa: BLE001 - per-job isolation
+            outcome.value = None
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            outcome.exception = exc
+            outcome.traceback = traceback_module.format_exc()
 
     def map_jobs(
         self,
@@ -274,6 +532,20 @@ class SharedMemoryBackend(ProcessBackend):
         if not jobs:
             return []
         plan = SharedArrayPlan()
+        publishing = self.share_results and _shared_memory is not None
+        submit_fn = _PublishingRunner(fn, self.min_result_bytes) if publishing else fn
+        result_plan = SharedResultPlan()
+        resolved_ids = set()
+
+        def resolve_then_forward(outcome: JobOutcome) -> None:
+            # Refs must never leak to the caller: resolve before its
+            # callback observes the outcome (still on the calling thread,
+            # per the map_jobs contract).
+            self._resolve_outcome(outcome, result_plan)
+            resolved_ids.add(id(outcome))
+            if on_result is not None:
+                on_result(outcome)
+
         try:
             try:
                 submitted = [
@@ -286,7 +558,21 @@ class SharedMemoryBackend(ProcessBackend):
                 plan.close()
                 plan = SharedArrayPlan()
                 submitted = jobs
-            return super().map_jobs(fn, submitted, on_result=on_result)
+            outcomes = super().map_jobs(
+                submit_fn,
+                submitted,
+                on_result=resolve_then_forward if publishing else on_result,
+            )
+            if publishing:
+                # Belt and braces: every outcome passed through on_result
+                # already; anything that somehow did not is resolved here
+                # so a ref can never escape.
+                for outcome in outcomes:
+                    if id(outcome) not in resolved_ids:
+                        self._resolve_outcome(outcome, result_plan)
+                self.result_segments += result_plan.segments_resolved
+                self.result_bytes += result_plan.bytes_resolved
+            return outcomes
         finally:
             # Results are all in (or the pool broke): the segments have done
             # their job either way.  Workers that are still attached keep
@@ -296,5 +582,6 @@ class SharedMemoryBackend(ProcessBackend):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SharedMemoryBackend(n_workers={self.n_workers}, "
-            f"chunk_size={self.chunk_size}, min_share_bytes={self.min_share_bytes})"
+            f"chunk_size={self.chunk_size}, min_share_bytes={self.min_share_bytes}, "
+            f"share_results={self.share_results})"
         )

@@ -19,6 +19,7 @@ execution backends are selectable via ``stage_backends=`` /
 """
 
 from repro.pipeline.cache import (
+    DISK_CACHE_POLICIES,
     CacheEntryMeta,
     CacheStats,
     DiskStageCache,
@@ -43,6 +44,7 @@ from repro.pipeline.stage import PipelineContext, Stage, stage_backend_scope
 
 __all__ = [
     "CacheEntryMeta",
+    "DISK_CACHE_POLICIES",
     "CacheStats",
     "ConsensusStage",
     "DiskStageCache",

@@ -23,6 +23,7 @@ Two implementations:
 from __future__ import annotations
 
 import copy
+import dataclasses
 import json
 import os
 import pickle
@@ -94,6 +95,9 @@ class CacheEntryMeta:
     outputs: List[str] = field(default_factory=list)
     seconds: float = 0.0
     created_unix: float = 0.0
+    #: On-disk payload size in bytes; 0 for in-memory entries (outputs are
+    #: stored by reference there, so no serialised size exists).
+    payload_bytes: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -102,6 +106,7 @@ class CacheEntryMeta:
             "outputs": list(self.outputs),
             "seconds": float(self.seconds),
             "created_unix": float(self.created_unix),
+            "payload_bytes": int(self.payload_bytes),
         }
 
 
@@ -109,7 +114,7 @@ class StageCache(ABC):
     """Checkpoint store the pipeline consults before running each stage."""
 
     def __init__(self) -> None:
-        self.stats = CacheStats()
+        self.counters = CacheStats()
 
     @abstractmethod
     def get(self, key: str) -> Optional[Dict[str, object]]:
@@ -125,7 +130,23 @@ class StageCache(ABC):
 
     @abstractmethod
     def clear(self) -> None:
-        """Drop every checkpoint (stats are kept)."""
+        """Drop every checkpoint (counters are kept)."""
+
+    def _occupancy(self) -> Dict[str, object]:
+        """Implementation-specific occupancy figures merged into stats()."""
+        return {}
+
+    def stats(self) -> Dict[str, object]:
+        """Uniform counters + occupancy snapshot of this cache.
+
+        Every implementation reports the same counter keys (``hits``,
+        ``misses``, ``stores``, ``evictions``) plus its own occupancy —
+        entry count and capacity for :class:`MemoryStageCache`; entry
+        count, byte total, budget and policy for :class:`DiskStageCache`.
+        """
+        data: Dict[str, object] = self.counters.as_dict()
+        data.update(self._occupancy())
+        return data
 
 
 class MemoryStageCache(StageCache):
@@ -146,10 +167,10 @@ class MemoryStageCache(StageCache):
     def get(self, key: str) -> Optional[Dict[str, object]]:
         with self._lock:
             if key not in self._entries:
-                self.stats.misses += 1
+                self.counters.misses += 1
                 return None
             self._entries.move_to_end(key)
-            self.stats.hits += 1
+            self.counters.hits += 1
             return {
                 name: _clone_generators(value)
                 for name, value in self._entries[key].items()
@@ -162,11 +183,11 @@ class MemoryStageCache(StageCache):
             }
             self._entries.move_to_end(key)
             self._meta[key] = meta
-            self.stats.stores += 1
+            self.counters.stores += 1
             while len(self._entries) > self.max_entries:
                 evicted, _ = self._entries.popitem(last=False)
                 self._meta.pop(evicted, None)
-                self.stats.evictions += 1
+                self.counters.evictions += 1
 
     def entries(self) -> List[CacheEntryMeta]:
         with self._lock:
@@ -177,9 +198,17 @@ class MemoryStageCache(StageCache):
             self._entries.clear()
             self._meta.clear()
 
+    def _occupancy(self) -> Dict[str, object]:
+        with self._lock:
+            return {"entries": len(self._entries), "max_entries": self.max_entries}
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+
+#: Eviction orders :class:`DiskStageCache` understands.
+DISK_CACHE_POLICIES = ("lru", "lfu")
 
 
 class DiskStageCache(StageCache):
@@ -190,12 +219,30 @@ class DiskStageCache(StageCache):
     the entry's commit marker, so a crash mid-write leaves an orphan
     payload that is ignored (and overwritten) rather than a half-readable
     checkpoint.
+
+    Economics: ``budget_bytes`` caps the cache's on-disk footprint.  Every
+    ``put`` first commits the new entry, then evicts committed entries in
+    ``policy`` order (``"lru"`` — least recently *used*, ``"lfu"`` — least
+    frequently used) until the total fits, so the cache never exceeds its
+    budget after any put — a full UCR sweep can share one bounded
+    directory.  Sizes, hit counts and recency live in a persisted
+    ``_index.json`` ledger (written atomically, like every other file
+    here); a corrupt or missing index is rebuilt from the meta records, it
+    can never poison correctness because ``get`` trusts only the payload +
+    meta pair on disk.
     """
 
     PAYLOAD_SUFFIX = ".pkl"
     META_SUFFIX = ".json"
+    INDEX_NAME = "_index.json"
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        budget_bytes: Optional[int] = None,
+        policy: str = "lru",
+    ) -> None:
         super().__init__()
         self.directory = Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
@@ -203,6 +250,26 @@ class DiskStageCache(StageCache):
                 f"stage cache path {self.directory} exists and is not a directory"
             )
         self.directory.mkdir(parents=True, exist_ok=True)
+        if policy not in DISK_CACHE_POLICIES:
+            raise PipelineError(
+                f"cache policy must be one of {list(DISK_CACHE_POLICIES)}, "
+                f"got {policy!r}"
+            )
+        self.policy = policy
+        if budget_bytes is not None:
+            budget_bytes = int(budget_bytes)
+            if budget_bytes < 1:
+                raise PipelineError(
+                    f"budget_bytes must be a positive byte count or None, "
+                    f"got {budget_bytes}"
+                )
+        self.budget_bytes = budget_bytes
+        self._lock = Lock()
+        self._index: Dict[str, Dict[str, object]] = self._load_index()
+        self._clock = max(
+            (int(record.get("access", 0)) for record in self._index.values()),
+            default=0,
+        )
 
     # ------------------------------------------------------------------ #
     def _payload_path(self, key: str) -> Path:
@@ -211,11 +278,91 @@ class DiskStageCache(StageCache):
     def _meta_path(self, key: str) -> Path:
         return self.directory / f"{key}{self.META_SUFFIX}"
 
+    def _index_path(self) -> Path:
+        return self.directory / self.INDEX_NAME
+
+    # ------------------------------------------------------------------ #
+    # the economics ledger (sizes, hits, recency)
+    # ------------------------------------------------------------------ #
+    def _entry_size(self, key: str) -> int:
+        size = 0
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return size
+
+    def _rebuild_index(self) -> Dict[str, Dict[str, object]]:
+        """Reconstruct the ledger from the committed meta records.
+
+        Hit counts and recency are lost (reset to the creation order), but
+        sizes — what the budget enforcement needs — come straight from the
+        files, so a corrupt index degrades economics precision, never
+        correctness.
+        """
+        index: Dict[str, Dict[str, object]] = {}
+        for order, entry in enumerate(self.entries(), start=1):
+            index[entry.key] = {
+                "size": self._entry_size(entry.key),
+                "hits": 0,
+                "access": order,
+                "stage": entry.stage,
+                "created_unix": entry.created_unix,
+            }
+        return index
+
+    def _load_index(self) -> Dict[str, Dict[str, object]]:
+        try:
+            with self._index_path().open("r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+            entries = raw["entries"]
+            index: Dict[str, Dict[str, object]] = {}
+            for key, record in entries.items():
+                index[str(key)] = {
+                    "size": int(record["size"]),
+                    "hits": int(record.get("hits", 0)),
+                    "access": int(record.get("access", 0)),
+                    "stage": str(record.get("stage", "")),
+                    "created_unix": float(record.get("created_unix", 0.0)),
+                }
+            return index
+        except (OSError, json.JSONDecodeError, KeyError, ValueError, TypeError, AttributeError):
+            return self._rebuild_index()
+
+    def _save_index(self) -> None:
+        payload = json.dumps(
+            {"version": 1, "entries": self._index}, indent=2, sort_keys=True
+        ).encode("utf-8")
+        try:
+            self._write_atomic(self._index_path(), lambda handle: handle.write(payload))
+        except OSError:  # pragma: no cover - read-only directory etc.
+            pass  # the ledger is advisory; the next load rebuilds it
+
+    def _touch(self, key: str, *, hit: bool) -> None:
+        record = self._index.get(key)
+        if record is None:
+            # Entry written by another process sharing the directory (or a
+            # pre-index version): adopt it into the ledger.
+            record = {
+                "size": self._entry_size(key),
+                "hits": 0,
+                "access": 0,
+                "stage": "",
+                "created_unix": 0.0,
+            }
+            self._index[key] = record
+        self._clock += 1
+        record["access"] = self._clock
+        if hit:
+            record["hits"] = int(record["hits"]) + 1
+
+    # ------------------------------------------------------------------ #
     def get(self, key: str) -> Optional[Dict[str, object]]:
         meta_path = self._meta_path(key)
         payload_path = self._payload_path(key)
         if not (meta_path.exists() and payload_path.exists()):
-            self.stats.misses += 1
+            self.counters.misses += 1
             return None
         try:
             with payload_path.open("rb") as handle:
@@ -223,12 +370,15 @@ class DiskStageCache(StageCache):
         except Exception:  # noqa: BLE001 - a corrupt checkpoint is a miss
             # A checkpoint that cannot be replayed must never poison the
             # run; the stage simply re-executes and overwrites it.
-            self.stats.misses += 1
+            self.counters.misses += 1
             return None
         if not isinstance(outputs, dict):
-            self.stats.misses += 1
+            self.counters.misses += 1
             return None
-        self.stats.hits += 1
+        self.counters.hits += 1
+        with self._lock:
+            self._touch(key, hit=True)
+            self._save_index()
         return outputs
 
     def put(self, key: str, outputs: Dict[str, object], meta: CacheEntryMeta) -> None:
@@ -239,9 +389,86 @@ class DiskStageCache(StageCache):
         self._write_atomic(
             self._payload_path(key), lambda handle: pickle.dump(dict(outputs), handle, protocol=4)
         )
+        try:
+            payload_bytes = self._payload_path(key).stat().st_size
+        except OSError:  # pragma: no cover - raced by a concurrent clear
+            payload_bytes = 0
+        meta = dataclasses.replace(meta, payload_bytes=int(payload_bytes))
         meta_bytes = json.dumps(meta.as_dict(), indent=2, sort_keys=True).encode("utf-8")
         self._write_atomic(self._meta_path(key), lambda handle: handle.write(meta_bytes))
-        self.stats.stores += 1
+        self.counters.stores += 1
+        with self._lock:
+            self._touch(key, hit=False)
+            record = self._index[key]
+            record["size"] = int(payload_bytes) + len(meta_bytes)
+            record["stage"] = meta.stage
+            record["created_unix"] = float(meta.created_unix)
+            if self.budget_bytes is not None:
+                self._evict_to_locked(self.budget_bytes)
+            self._save_index()
+
+    # ------------------------------------------------------------------ #
+    # eviction
+    # ------------------------------------------------------------------ #
+    def _eviction_order(self) -> List[str]:
+        if self.policy == "lfu":
+            # Least frequently used first; recency breaks ties, so a cold
+            # cache degenerates to LRU instead of alphabetical chance.
+            sort_key = lambda key: (  # noqa: E731 - tiny local ordering
+                int(self._index[key]["hits"]),
+                int(self._index[key]["access"]),
+            )
+        else:
+            sort_key = lambda key: int(self._index[key]["access"])  # noqa: E731
+        return sorted(self._index, key=sort_key)
+
+    def _evict_to_locked(self, budget: int) -> int:
+        evicted = 0
+        total = sum(int(record["size"]) for record in self._index.values())
+        for key in self._eviction_order():
+            if total <= budget:
+                break
+            record = self._index.pop(key)
+            total -= int(record["size"])
+            for path in (self._payload_path(key), self._meta_path(key)):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.counters.evictions += 1
+            evicted += 1
+        return evicted
+
+    def evict_to(self, budget: int) -> int:
+        """Evict entries in policy order until the total fits ``budget``.
+
+        Returns the number of entries removed.  ``put`` calls this
+        automatically when the cache has a ``budget_bytes``; calling it
+        directly shrinks an unbounded cache on demand (the CLI's
+        ``--cache-budget`` on an existing directory does exactly that).
+        """
+        if int(budget) < 0:
+            raise PipelineError(f"budget must be >= 0, got {budget}")
+        with self._lock:
+            evicted = self._evict_to_locked(int(budget))
+            self._save_index()
+        return evicted
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of every committed entry (ledger view)."""
+        with self._lock:
+            return sum(int(record["size"]) for record in self._index.values())
+
+    def _occupancy(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "total_bytes": sum(
+                    int(record["size"]) for record in self._index.values()
+                ),
+                "budget_bytes": self.budget_bytes,
+                "policy": self.policy,
+            }
 
     def _write_atomic(self, path: Path, write) -> None:
         descriptor, tmp_name = tempfile.mkstemp(
@@ -273,6 +500,7 @@ class DiskStageCache(StageCache):
                         outputs=[str(name) for name in raw.get("outputs", [])],
                         seconds=float(raw.get("seconds", 0.0)),
                         created_unix=float(raw.get("created_unix", 0.0)),
+                        payload_bytes=int(raw.get("payload_bytes", 0)),
                     )
                 )
             except (OSError, json.JSONDecodeError, KeyError, ValueError):
@@ -302,27 +530,47 @@ class DiskStageCache(StageCache):
                     leftover.unlink()
                 except OSError:
                     pass
+        with self._lock:
+            self._index.clear()
+            try:
+                self._index_path().unlink()
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         return len(self.entries())
 
 
 def resolve_stage_cache(
-    cache: Union[None, str, Path, StageCache]
+    cache: Union[None, str, Path, StageCache],
+    *,
+    budget_bytes: Optional[int] = None,
+    policy: str = "lru",
 ) -> Optional[StageCache]:
     """Normalise the ``stage_cache=`` argument every pipeline API accepts.
 
     ``None`` disables checkpointing, a path selects a
-    :class:`DiskStageCache` rooted there, and a :class:`StageCache`
-    instance is used as-is (shared instances are how a parameter grid
-    reuses upstream stages across fits).
+    :class:`DiskStageCache` rooted there (``budget_bytes`` / ``policy``
+    configure its eviction economics), and a :class:`StageCache` instance
+    is used as-is (shared instances are how a parameter grid reuses
+    upstream stages across fits) — combining an instance with the economics
+    keywords is rejected, since the instance already fixed its own budget.
     """
     if cache is None:
+        if budget_bytes is not None:
+            raise PipelineError(
+                "cache budget given but checkpointing is disabled (stage_cache=None)"
+            )
         return None
     if isinstance(cache, StageCache):
+        if budget_bytes is not None:
+            raise PipelineError(
+                "budget_bytes cannot be combined with a StageCache instance; "
+                "configure the budget on the instance instead"
+            )
         return cache
     if isinstance(cache, (str, Path)):
-        return DiskStageCache(cache)
+        return DiskStageCache(cache, budget_bytes=budget_bytes, policy=policy)
     raise PipelineError(
         f"stage_cache must be None, a directory path, or a StageCache, "
         f"got {type(cache).__name__}"

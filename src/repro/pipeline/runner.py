@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exceptions import PipelineError
+from repro.parallel import ProcessBackend
 from repro.pipeline.cache import CacheEntryMeta, StageCache
 from repro.pipeline.fingerprint import fingerprint
 from repro.pipeline.stage import PipelineContext, Stage
@@ -33,6 +34,12 @@ class StageRecord:
     cached: bool
     seconds: float
     outputs: List[str] = field(default_factory=list)
+    #: Whether this stage executed as half of a fused dispatch pair.
+    fused: bool = False
+    #: Pickled payload bytes this stage shipped to a process backend (0 for
+    #: serial/thread dispatches and cache replays; a fused pair's volume is
+    #: attributed to the pair's *first* record, which ran the dispatch).
+    bytes_shipped: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -41,6 +48,8 @@ class StageRecord:
             "cached": self.cached,
             "seconds": float(self.seconds),
             "outputs": list(self.outputs),
+            "fused": self.fused,
+            "bytes_shipped": int(self.bytes_shipped),
         }
 
 
@@ -65,6 +74,16 @@ class PipelineReport:
     def stage_keys(self) -> Dict[str, str]:
         """Mapping stage name -> content-addressed cache key."""
         return {record.name: record.key for record in self.records}
+
+    @property
+    def fused(self) -> List[str]:
+        """Names of the stages that executed inside a fused dispatch pair."""
+        return [record.name for record in self.records if record.fused]
+
+    @property
+    def stage_bytes_shipped(self) -> Dict[str, int]:
+        """Mapping stage name -> pickled payload bytes shipped to workers."""
+        return {record.name: int(record.bytes_shipped) for record in self.records}
 
     def record_for(self, name: str) -> StageRecord:
         for record in self.records:
@@ -143,12 +162,41 @@ class Pipeline:
             digest.update(_fingerprint(ctx.require(name)).encode())
         return digest.hexdigest()
 
+    def _fusion_partner(
+        self, stage: Stage, index: int, ctx: PipelineContext, fuse: Optional[bool]
+    ) -> Optional[Stage]:
+        """The next stage, iff ``stage`` should fuse with it this run.
+
+        ``fuse=None`` (auto) fuses only when both stages dispatch on the
+        *same* :class:`~repro.parallel.ProcessBackend` instance — that is
+        when the intermediate outputs would otherwise cross the process
+        boundary twice; ``fuse=True`` forces fusing every declared pair
+        (any backend), ``fuse=False`` disables fusing entirely.
+        """
+        if fuse is False or stage.fusable_with is None:
+            return None
+        if index + 1 >= len(self.stages):
+            return None
+        partner = self.stages[index + 1]
+        if partner.name != stage.fusable_with:
+            return None
+        if fuse is True:
+            return partner
+        first = ctx.backend_for(stage.name)
+        return (
+            partner
+            if first is ctx.backend_for(partner.name)
+            and isinstance(first, ProcessBackend)
+            else None
+        )
+
     def run(
         self,
         ctx: PipelineContext,
         *,
         cache: Optional[StageCache] = None,
         config_hash: Optional[str] = None,
+        fuse: Optional[bool] = None,
     ) -> PipelineReport:
         """Execute every stage (or replay its checkpoint) and report.
 
@@ -156,6 +204,15 @@ class Pipeline:
         manifests) with a canonical config identity — e.g. the typed
         :meth:`repro.api.EstimatorConfig.config_hash` — instead of the
         ad-hoc fingerprint of the stages' config subset used as fallback.
+
+        ``fuse`` controls fused dispatch of adjacent stage pairs that
+        declare it (see :attr:`Stage.fusable_with`): ``None`` fuses
+        automatically when the pair shares one process backend, ``True``
+        forces it, ``False`` disables it.  Fusing only kicks in when the
+        pair's first stage misses the cache — a hit replays unfused, so
+        downstream-only re-runs keep their checkpoints — and both stages'
+        entries are still keyed, stored and reported individually, so a
+        fused run leaves the cache bit-identical to an unfused one.
         """
         missing_seed = [name for name in self.seed_inputs if name not in ctx.values]
         if missing_seed:
@@ -182,7 +239,9 @@ class Pipeline:
             memo[id(value)] = (value, digest)
             return digest
 
-        for stage in self.stages:
+        index = 0
+        while index < len(self.stages):
+            stage = self.stages[index]
             key = self.stage_key(stage, ctx, _memoised_fingerprint)
             start = time.perf_counter()
             cached_outputs = cache.get(key) if cache is not None else None
@@ -198,14 +257,19 @@ class Pipeline:
                         outputs=sorted(cached_outputs),
                     )
                 )
+                index += 1
                 continue
+            partner = self._fusion_partner(stage, index, ctx, fuse)
+            if partner is not None:
+                self._run_fused_pair(
+                    stage, partner, key, ctx, cache, report, _memoised_fingerprint, start
+                )
+                index += 2
+                continue
+            bytes_before = ctx.bytes_shipped.get(stage.name, 0)
             with ctx.watch.section(f"stage:{stage.name}"):
                 outputs = dict(stage.run(ctx))
-            if set(outputs) != set(stage.outputs):
-                raise PipelineError(
-                    f"stage {stage.name!r} returned outputs {sorted(outputs)} "
-                    f"but declared {sorted(stage.outputs)}"
-                )
+            self._check_outputs(stage, outputs)
             ctx.values.update(outputs)
             self.run_counts[stage.name] += 1
             seconds = time.perf_counter() - start
@@ -228,6 +292,101 @@ class Pipeline:
                     cached=False,
                     seconds=seconds,
                     outputs=sorted(outputs),
+                    bytes_shipped=ctx.bytes_shipped.get(stage.name, 0) - bytes_before,
                 )
             )
+            index += 1
         return report
+
+    @staticmethod
+    def _check_outputs(stage: Stage, outputs: Dict[str, object]) -> None:
+        if set(outputs) != set(stage.outputs):
+            raise PipelineError(
+                f"stage {stage.name!r} returned outputs {sorted(outputs)} "
+                f"but declared {sorted(stage.outputs)}"
+            )
+
+    def _run_fused_pair(
+        self,
+        stage: Stage,
+        partner: Stage,
+        key: str,
+        ctx: PipelineContext,
+        cache: Optional[StageCache],
+        report: PipelineReport,
+        _memoised_fingerprint: "Callable[[object], str]",
+        start: float,
+    ) -> None:
+        """Execute a declared stage pair through one fused dispatch.
+
+        The cache layer still sees two independent entries: the first
+        stage's outputs are stored under the key computed before running,
+        the partner's under the key computed *after* the first outputs land
+        in the context (its inputs only exist then) — exactly the keys the
+        unfused path would have derived, because the fused job reproduces
+        the stage-boundary state (including generator snapshots)
+        bit-identically.  The combined wall-clock lands in the first
+        stage's ``stage:<name>`` section; the worker-side sections keep the
+        true split.
+        """
+        bytes_before = ctx.bytes_shipped.get(stage.name, 0)
+        with ctx.watch.section(f"stage:{stage.name}"):
+            first_outputs, second_outputs = stage.run_fused(partner, ctx)
+            first_outputs = dict(first_outputs)
+            second_outputs = dict(second_outputs)
+        self._check_outputs(stage, first_outputs)
+        self._check_outputs(partner, second_outputs)
+        ctx.values.update(first_outputs)
+        self.run_counts[stage.name] += 1
+        first_seconds = time.perf_counter() - start
+        if cache is not None:
+            cache.put(
+                key,
+                first_outputs,
+                CacheEntryMeta(
+                    key=key,
+                    stage=stage.name,
+                    outputs=sorted(first_outputs),
+                    seconds=first_seconds,
+                    created_unix=time.time(),
+                ),
+            )
+        second_start = time.perf_counter()
+        second_key = self.stage_key(partner, ctx, _memoised_fingerprint)
+        with ctx.watch.section(f"stage:{partner.name}"):
+            ctx.values.update(second_outputs)
+        self.run_counts[partner.name] += 1
+        second_seconds = time.perf_counter() - second_start
+        if cache is not None:
+            cache.put(
+                second_key,
+                second_outputs,
+                CacheEntryMeta(
+                    key=second_key,
+                    stage=partner.name,
+                    outputs=sorted(second_outputs),
+                    seconds=second_seconds,
+                    created_unix=time.time(),
+                ),
+            )
+        report.records.append(
+            StageRecord(
+                name=stage.name,
+                key=key,
+                cached=False,
+                seconds=first_seconds,
+                outputs=sorted(first_outputs),
+                fused=True,
+                bytes_shipped=ctx.bytes_shipped.get(stage.name, 0) - bytes_before,
+            )
+        )
+        report.records.append(
+            StageRecord(
+                name=partner.name,
+                key=second_key,
+                cached=False,
+                seconds=second_seconds,
+                outputs=sorted(second_outputs),
+                fused=True,
+            )
+        )

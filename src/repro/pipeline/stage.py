@@ -53,6 +53,11 @@ class PipelineContext:
     watch:
         Stopwatch accumulating both worker-side sections (merged by the
         stages) and the pipeline's ``stage:<name>`` wall-clock sections.
+    bytes_shipped:
+        Per-stage pickled payload bytes submitted to process backends
+        (stage name -> cumulative bytes), filled by :meth:`dispatch`.
+        Stays zero for serial/thread backends — nothing crosses a process
+        boundary there.
     """
 
     config: Dict[str, object] = field(default_factory=dict)
@@ -60,10 +65,30 @@ class PipelineContext:
     backend: ExecutionBackend = field(default_factory=SerialBackend)
     stage_backends: Dict[str, ExecutionBackend] = field(default_factory=dict)
     watch: Stopwatch = field(default_factory=Stopwatch)
+    bytes_shipped: Dict[str, int] = field(default_factory=dict)
 
     def backend_for(self, stage_name: str) -> ExecutionBackend:
         """The backend a stage's fan-out must dispatch through."""
         return self.stage_backends.get(stage_name, self.backend)
+
+    def dispatch(self, stage_name: str, fn, jobs, *, on_result=None):
+        """Fan out through ``backend_for(stage_name)``, accounting transfer.
+
+        The preferred form of ``backend_for(name).map_jobs(...)`` inside a
+        stage: identical semantics, plus the pickled payload volume of the
+        dispatch (measured by process backends on their cumulative
+        ``bytes_shipped`` counter) is attributed to ``stage_name`` so
+        reports can show what each stage actually shipped.
+        """
+        backend = self.backend_for(stage_name)
+        before = getattr(backend, "bytes_shipped", None)
+        outcomes = backend.map_jobs(fn, jobs, on_result=on_result)
+        if before is not None:
+            delta = int(backend.bytes_shipped) - int(before)
+            self.bytes_shipped[stage_name] = (
+                self.bytes_shipped.get(stage_name, 0) + delta
+            )
+        return outcomes
 
     def require(self, name: str) -> object:
         """Fetch a context value, failing loudly when it is absent."""
@@ -92,6 +117,13 @@ class Stage(ABC):
     version:
         Bump when the stage's implementation changes behaviour, so stale
         disk checkpoints from older code are never reused.
+    fusable_with:
+        Name of the immediately-following stage this stage can execute in
+        one fused dispatch (``None`` for most stages).  A stage declaring
+        it must implement :meth:`run_fused`; the pipeline decides per run
+        whether fusing is worthwhile (both stages on the same process
+        backend) and still records **both** stages' cache entries, so
+        downstream-only re-runs and cache hits are preserved bit-identically.
     """
 
     name: str = "abstract"
@@ -99,10 +131,27 @@ class Stage(ABC):
     outputs: Tuple[str, ...] = ()
     config_keys: Tuple[str, ...] = ()
     version: int = 1
+    fusable_with: Optional[str] = None
 
     @abstractmethod
     def run(self, ctx: PipelineContext) -> Mapping[str, object]:
         """Execute the stage and return its declared outputs."""
+
+    def run_fused(
+        self, next_stage: "Stage", ctx: PipelineContext
+    ) -> Tuple[Mapping[str, object], Mapping[str, object]]:
+        """Execute this stage and ``next_stage`` in one fused dispatch.
+
+        Returns ``(own_outputs, next_outputs)`` — each mapping must carry
+        exactly the respective stage's declared outputs, and both must be
+        bit-identical to what the two unfused ``run`` calls would have
+        produced (including any generators threaded between the stages,
+        which the fused job must snapshot at the stage boundary).  Only
+        stages that declare ``fusable_with`` implement this.
+        """
+        raise PipelineError(
+            f"stage {self.name!r} declares no fused execution path"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

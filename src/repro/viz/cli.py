@@ -17,7 +17,8 @@ Sub-commands:
 * ``graphint pipeline run --dataset NAME --cache DIR`` — run the staged
   k-Graph pipeline with checkpointing; ``--resume`` replays unchanged
   stages from the cache, ``--stage-backend embed=shared`` picks a backend
-  per stage
+  per stage, ``--cache-budget BYTES --cache-policy lru|lfu`` bound the
+  checkpoint directory, ``--fuse``/``--no-fuse`` control fused dispatch
 * ``graphint pipeline inspect --cache DIR`` — list the checkpoints of a
   pipeline cache directory
 * ``graphint estimators list`` — every estimator registry name (k-Graph
@@ -44,7 +45,7 @@ from repro.benchmark.aggregate import summarize_by_method
 from repro.benchmark.runner import BenchmarkRunner
 from repro.benchmark.store import load_results, save_results
 from repro.datasets.catalogue import default_catalogue
-from repro.exceptions import ValidationError
+from repro.exceptions import PipelineError, ValidationError
 from repro.metrics.clustering import adjusted_rand_index
 from repro.viz.dashboard import build_dashboard
 from repro.viz.session import GraphintSession
@@ -250,6 +251,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="replay unchanged stages from --cache instead of clearing it first",
+    )
+    pipeline_run.add_argument(
+        "--cache-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="evict checkpoints so --cache never exceeds this many bytes",
+    )
+    pipeline_run.add_argument(
+        "--cache-policy",
+        choices=("lru", "lfu"),
+        default="lru",
+        help="eviction order under --cache-budget (default: lru)",
+    )
+    pipeline_run.add_argument(
+        "--fuse",
+        dest="fuse",
+        action="store_true",
+        default=None,
+        help="force fused dispatch of adjacent fusable stages "
+        "(default: automatic when both share one process backend)",
+    )
+    pipeline_run.add_argument(
+        "--no-fuse",
+        dest="fuse",
+        action="store_false",
+        help="disable fused stage dispatch",
     )
     pipeline_run.add_argument(
         "--stage-backend",
@@ -487,13 +515,24 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
 
     cache = None
     if args.cache is not None:
-        cache = DiskStageCache(args.cache)
+        try:
+            cache = DiskStageCache(
+                args.cache,
+                budget_bytes=args.cache_budget,
+                policy=args.cache_policy,
+            )
+        except PipelineError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
         if not args.resume:
             # A fresh run must not silently replay stale checkpoints from a
             # previous configuration; --resume is the explicit opt-in.
             cache.clear()
     elif args.resume:
         print("--resume requires --cache DIR", file=sys.stderr)
+        return 2
+    elif args.cache_budget is not None:
+        print("--cache-budget requires --cache DIR", file=sys.stderr)
         return 2
 
     model = KGraph.from_config(
@@ -502,6 +541,7 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         stage_backends=stage_backends or None,
         stage_cache=cache,
+        fuse_stages=args.fuse,
     ).fit(dataset.data)
 
     report = model.pipeline_report_
@@ -512,14 +552,25 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         ari = adjusted_rand_index(dataset.labels, model.labels_)
         print(f"ARI                : {ari:.3f}")
     print()
-    print(f"{'stage':<18} {'status':<8} {'seconds':>9}  key")
+    print(f"{'stage':<18} {'status':<8} {'seconds':>9} {'shipped':>10}  key")
     for record in report.records:
-        status = "cached" if record.cached else "ran"
+        status = "cached" if record.cached else ("fused" if record.fused else "ran")
         print(
-            f"{record.name:<18} {status:<8} {record.seconds:>9.4f}  {record.key[:12]}"
+            f"{record.name:<18} {status:<8} {record.seconds:>9.4f} "
+            f"{record.bytes_shipped:>10}  {record.key[:12]}"
         )
     if cache is not None:
-        print(f"\ncheckpoints in {Path(args.cache).resolve()}: {len(cache.entries())}")
+        stats = cache.stats()
+        print(
+            f"\ncheckpoints in {Path(args.cache).resolve()}: "
+            f"{stats['entries']} ({stats['total_bytes']} bytes"
+            + (
+                f", budget {stats['budget_bytes']}, "
+                f"{stats['evictions']} eviction(s), policy {stats['policy']})"
+                if stats.get("budget_bytes")
+                else ")"
+            )
+        )
         if not args.resume:
             print("re-run with --resume to replay unchanged stages")
     return 0
@@ -532,17 +583,21 @@ def _cmd_pipeline_inspect(args: argparse.Namespace) -> int:
     if not directory.is_dir():
         print(f"no pipeline cache at {directory.resolve()}", file=sys.stderr)
         return 2
-    entries = DiskStageCache(directory).entries()
+    cache = DiskStageCache(directory)
+    entries = cache.entries()
     if not entries:
         print(f"no checkpoints in {directory.resolve()}")
         return 0
-    print(f"{'stage':<18} {'key':<14} {'seconds':>9}  outputs")
+    print(f"{'stage':<18} {'key':<14} {'seconds':>9} {'bytes':>10}  outputs")
     for entry in entries:
         print(
-            f"{entry.stage:<18} {entry.key[:12]:<14} {entry.seconds:>9.4f}  "
-            f"{', '.join(entry.outputs)}"
+            f"{entry.stage:<18} {entry.key[:12]:<14} {entry.seconds:>9.4f} "
+            f"{entry.payload_bytes:>10}  {', '.join(entry.outputs)}"
         )
-    print(f"\n{len(entries)} checkpoint(s) in {directory.resolve()}")
+    print(
+        f"\n{len(entries)} checkpoint(s), {cache.total_bytes()} bytes "
+        f"in {directory.resolve()}"
+    )
     return 0
 
 

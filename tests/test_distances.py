@@ -136,3 +136,52 @@ class TestPairwise:
     def test_unknown_metric(self):
         with pytest.raises(ValidationError):
             get_metric("manhattan-ish")
+
+
+class TestPairwiseBackendFanout:
+    """Row-strip fan-out of pairwise_distances over execution backends."""
+
+    @pytest.mark.parametrize(
+        ("metric", "kwargs"),
+        [
+            ("euclidean", {"exact": True}),
+            ("zeuclidean", {}),
+            ("sbd", {}),
+            ("dtw", {}),
+            ("dtw", {"window": 5}),
+        ],
+    )
+    def test_fanout_is_bit_identical_to_serial(self, rng, metric, kwargs):
+        data = rng.normal(size=(24, 32))
+        serial = pairwise_distances(data, metric=metric, **kwargs)
+        fanned = pairwise_distances(data, metric=metric, backend="thread", **kwargs)
+        assert np.array_equal(serial, fanned)
+
+    def test_fanout_over_process_backend(self, rng):
+        from repro.parallel import ProcessBackend
+
+        data = rng.normal(size=(20, 16))
+        serial = pairwise_distances(data, metric="sbd")
+        with ProcessBackend(2) as backend:
+            fanned = pairwise_distances(data, metric="sbd", backend=backend)
+        assert np.array_equal(serial, fanned)
+
+    def test_gram_fanout_matches_to_float_tolerance(self, rng):
+        # The gram formulation is documented as not bit-identical (GEMM
+        # blocking is shape-dependent); off-diagonal values still agree.
+        data = rng.normal(size=(16, 16))
+        serial = pairwise_distances(data, metric="euclidean")
+        fanned = pairwise_distances(data, metric="euclidean", backend="thread")
+        off = ~np.eye(16, dtype=bool)
+        assert np.allclose(serial[off], fanned[off], atol=1e-9)
+
+    def test_single_row_and_reference_fallback(self, rng):
+        one = rng.normal(size=(1, 8))
+        assert pairwise_distances(one, backend="thread").shape == (1, 1)
+        # Unknown metric kwargs fall back to the reference loop (backend
+        # ignored there) instead of failing.
+        data = rng.normal(size=(4, 8))
+        result = pairwise_distances(
+            data, metric="sbd", backend="thread", return_shift=False
+        )
+        assert result.shape == (4, 4)

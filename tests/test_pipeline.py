@@ -184,7 +184,7 @@ class TestStageCaches:
             )
         assert cache.get("key0") is None  # evicted
         assert cache.get("key2") == {"value": 2}
-        assert cache.stats.evictions == 1
+        assert cache.counters.evictions == 1
 
     def test_memory_cache_clones_generators(self):
         from repro.pipeline.cache import CacheEntryMeta
@@ -239,7 +239,7 @@ class TestStageCaches:
         cache.put("key", {"v": 1}, CacheEntryMeta(key="key", stage="s"))
         (tmp_path / "key.pkl").write_bytes(b"not a pickle")
         assert cache.get("key") is None
-        assert cache.stats.misses == 1
+        assert cache.counters.misses == 1
 
     def test_resolve_stage_cache(self, tmp_path):
         assert resolve_stage_cache(None) is None
@@ -426,8 +426,8 @@ class TestKGraphResume:
             stage_cache=cache,
         ).fit(small_dataset.data)
         # Cache accounting across both fits: 5 stores + 4 replays.
-        assert cache.stats.stores == 6  # 5 cold + 1 re-run interpretability
-        assert cache.stats.hits == 4
+        assert cache.counters.stores == 6  # 5 cold + 1 re-run interpretability
+        assert cache.counters.hits == 4
 
     def test_disk_cache_resumes_across_sessions(self, small_dataset, tmp_path):
         cache_dir = tmp_path / "stages"
