@@ -19,7 +19,7 @@ from repro.baselines.registry import all_baseline_names, get_method
 from repro.datasets.catalogue import DatasetCatalogue, DatasetSpec, default_catalogue
 from repro.exceptions import BenchmarkError
 from repro.metrics.clustering import clustering_report
-from repro.parallel import ExecutionBackend, backend_scope
+from repro.parallel import ExecutionBackend, RetryPolicy, backend_scope
 from repro.utils.containers import TimeSeriesDataset
 from repro.utils.rng import SeedSequencePool
 from repro.utils.validation import check_positive_int
@@ -213,6 +213,15 @@ class BenchmarkRunner:
         Optional config-field overrides applied to every campaign cell
         whose estimator config declares the field (the CLI's ``--config``
         / ``--set`` plumbing) — see :func:`run_single_benchmark`.
+    retry:
+        Optional :class:`~repro.parallel.RetryPolicy` applied to the
+        campaign fan-out (bounded retries, per-attempt timeouts, fan-out
+        deadline).  Runtime-only: cell seeds are pre-drawn, so a retried
+        cell reproduces its original result.
+    fallback:
+        Optional degradation chain (backend spec or sequence) demoted to
+        when the primary backend's pool-rebuild budget is exhausted — see
+        :func:`repro.parallel.resolve_backend`.
     """
 
     def __init__(
@@ -225,6 +234,8 @@ class BenchmarkRunner:
         backend: Union[None, str, ExecutionBackend] = None,
         n_jobs: Optional[int] = None,
         config_overrides: Optional[Dict[str, object]] = None,
+        retry: Optional[RetryPolicy] = None,
+        fallback: Union[None, str, ExecutionBackend, Sequence] = None,
     ) -> None:
         if methods is None:
             methods = all_baseline_names() + ["kgraph"]
@@ -236,6 +247,8 @@ class BenchmarkRunner:
         self.backend = backend
         self.n_jobs = n_jobs
         self.config_overrides = dict(config_overrides) if config_overrides else None
+        self.retry = retry
+        self.fallback = fallback
         self._seed_pool = SeedSequencePool(random_state)
 
     # ------------------------------------------------------------------ #
@@ -324,8 +337,20 @@ class BenchmarkRunner:
                 job = jobs[outcome.index]
                 progress(job.method_name, job.spec.name, _result_for(outcome))
 
-        with backend_scope(self.backend, self.n_jobs) as backend:
-            outcomes = backend.map_jobs(_execute_campaign_job, jobs, on_result=on_result)
+        with backend_scope(
+            self.backend, self.n_jobs, retry=self.retry, fallback=self.fallback
+        ) as backend:
+            if self.retry is not None:
+                outcomes = backend.map_jobs(
+                    _execute_campaign_job,
+                    jobs,
+                    on_result=on_result,
+                    retry=self.retry,
+                )
+            else:
+                outcomes = backend.map_jobs(
+                    _execute_campaign_job, jobs, on_result=on_result
+                )
         # Group by the outcome's own job index rather than list position, so
         # a third-party backend returning completion order cannot silently
         # misalign the per-pair averages.

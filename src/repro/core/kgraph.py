@@ -42,7 +42,7 @@ from repro.graph.graphoid import (
     node_representativity,
 )
 from repro.graph.structure import TimeSeriesGraph
-from repro.parallel import ExecutionBackend, backend_scope
+from repro.parallel import ExecutionBackend, RetryPolicy, backend_scope
 from repro.utils.normalization import znormalize_dataset
 from repro.utils.rng import spawn_rng
 from repro.utils.timing import Stopwatch
@@ -474,6 +474,17 @@ class KGraph:
         process backend, ``True`` forces fusing, ``False`` disables it.
         A runtime-only knob like ``backend`` — it never changes results or
         cache keys, only how many process round-trips the fit costs.
+    retry:
+        Optional :class:`~repro.parallel.RetryPolicy` applied to every
+        stage fan-out (bounded retries, per-attempt timeouts, fan-out
+        deadline).  Runtime-only: jobs carry their own seeds, so retrying
+        one never changes results.
+    fallback:
+        Optional degradation chain — one backend spec or a sequence (e.g.
+        ``("process", "thread")``): when the primary backend's worker-pool
+        rebuild budget is exhausted, the fit demotes to the next backend
+        with a structured warning and bit-identical results (see
+        :class:`~repro.parallel.FallbackBackend`).
 
     Examples
     --------
@@ -504,6 +515,8 @@ class KGraph:
         stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
         stage_cache=None,
         fuse_stages: Optional[bool] = None,
+        retry: Optional[RetryPolicy] = None,
+        fallback: Union[None, str, ExecutionBackend, Sequence] = None,
     ) -> None:
         overrides = {
             name: value
@@ -564,6 +577,12 @@ class KGraph:
                 f"fuse_stages must be None, True or False, got {fuse_stages!r}"
             )
         self.fuse_stages = fuse_stages
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ValidationError(
+                f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+            )
+        self.retry = retry
+        self.fallback = fallback
 
         self.result_: Optional[KGraphResult] = None
         self.labels_: Optional[np.ndarray] = None
@@ -640,13 +659,15 @@ class KGraph:
         stage_backends: Optional[Dict[str, Union[str, ExecutionBackend]]] = None,
         stage_cache=None,
         fuse_stages: Optional[bool] = None,
+        retry: Optional[RetryPolicy] = None,
+        fallback: Union[None, str, ExecutionBackend, Sequence] = None,
     ) -> "KGraph":
         """Build an estimator from its config plus runtime-only knobs.
 
         ``from_config(est.get_config())`` refits bit-identically to ``est``
         under the same seed: the config carries every result-affecting
-        parameter, and the runtime knobs (backend, jobs, caches, fusing)
-        never change results.
+        parameter, and the runtime knobs (backend, jobs, caches, fusing,
+        retry policy, fallback chain) never change results.
         """
         return cls(
             config=config,
@@ -655,6 +676,8 @@ class KGraph:
             stage_backends=stage_backends,
             stage_cache=stage_cache,
             fuse_stages=fuse_stages,
+            retry=retry,
+            fallback=fallback,
         )
 
     def summary(self) -> Dict[str, object]:
@@ -697,7 +720,15 @@ class KGraph:
             data, name="training data", min_series=self.n_clusters
         )
 
-    def fit(self, data) -> "KGraph":
+    def fit(
+        self,
+        data,
+        *,
+        backend: Union[None, str, ExecutionBackend] = None,
+        n_jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fallback: Union[None, str, ExecutionBackend, Sequence] = None,
+    ) -> "KGraph":
         """Run the full k-Graph pipeline on ``data`` (n_series x length).
 
         The fit is driven by the five-stage pipeline of
@@ -708,6 +739,14 @@ class KGraph:
         (``stage_cache=``) and dispatchable on its own backend
         (``stage_backends=``).  The per-stage ledger of what ran versus
         what was replayed lands on :attr:`pipeline_report_`.
+
+        The keyword-only arguments override the estimator's runtime knobs
+        for this fit only (``None`` falls back to the instance values) —
+        all runtime-only, never result-affecting: ``backend``/``n_jobs``
+        select execution, ``retry`` applies a
+        :class:`~repro.parallel.RetryPolicy` to every stage fan-out, and
+        ``fallback`` names the degradation chain (see
+        :func:`repro.parallel.resolve_backend`).
         """
         array = self.validate_fit_input(data)
         rng = check_random_state(self.random_state)
@@ -716,11 +755,19 @@ class KGraph:
         from repro.pipeline import resolve_stage_cache, stage_backend_scope
 
         cache = resolve_stage_cache(self.stage_cache)
+        backend = backend if backend is not None else self.backend
+        n_jobs = n_jobs if n_jobs is not None else self.n_jobs
+        retry = retry if retry is not None else self.retry
+        fallback = fallback if fallback is not None else self.fallback
         # Pooled workers of a backend we create here are released when the
         # fit ends; a caller-supplied backend instance stays open.
-        with backend_scope(self.backend, self.n_jobs) as backend:
-            with stage_backend_scope(self.stage_backends, self.n_jobs) as per_stage:
-                return self._fit_via_pipeline(array, rng, backend, per_stage, cache)
+        with backend_scope(
+            backend, n_jobs, retry=retry, fallback=fallback
+        ) as resolved:
+            with stage_backend_scope(self.stage_backends, n_jobs) as per_stage:
+                return self._fit_via_pipeline(
+                    array, rng, resolved, per_stage, cache, retry=retry
+                )
 
     def _fit_via_pipeline(
         self,
@@ -729,6 +776,7 @@ class KGraph:
         backend: ExecutionBackend,
         stage_backends: Dict[str, ExecutionBackend],
         cache,
+        retry: Optional[RetryPolicy] = None,
     ) -> "KGraph":
         from repro.pipeline import (
             KGRAPH_STAGE_NAMES,
@@ -764,6 +812,7 @@ class KGraph:
             },
             backend=backend,
             stage_backends=stage_backends,
+            retry=retry,
         )
         report = pipeline.run(
             ctx,

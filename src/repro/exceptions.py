@@ -103,3 +103,25 @@ class ServiceError(ReproError, RuntimeError):
     :class:`ValidationError` / :class:`ArtifactError` instead, so the HTTP
     layer can map them to 4xx responses.
     """
+
+
+class ServiceOverloadError(ServiceError):
+    """The service is alive but shedding load (queue full, dispatch timeout).
+
+    Distinct from a real fault: the request is expected to succeed if
+    retried after :attr:`retry_after` seconds, so the HTTP layer answers
+    503 with a ``Retry-After`` header instead of a 500.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: Suggested client back-off in seconds (the ``Retry-After`` value).
+        self.retry_after = float(retry_after)
+
+
+class ServiceFaultError(ServiceError):
+    """A real serving-side fault (a worker died, a dispatch broke mid-batch).
+
+    Unlike :class:`ServiceOverloadError`, retrying without operator
+    attention is unlikely to help — the HTTP layer answers 500.
+    """

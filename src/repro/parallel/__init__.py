@@ -41,6 +41,18 @@ Determinism: jobs carry their own pre-spawned seeds/generators (see
 labels, optimal length and benchmark measures are bit-identical across all
 backends — parallelism changes wall-clock time, never results.
 
+Fault tolerance: every backend accepts a :class:`RetryPolicy`
+(``map_jobs(..., retry=...)`` or ``resolve_backend(..., retry=...)``) for
+bounded retries with deterministic backoff, per-attempt timeouts and a
+whole-fan-out deadline; the process backends recover killed workers by
+rebuilding the pool and bisecting the implicated chunk until the poison
+job is isolated; :class:`FallbackBackend`
+(``resolve_backend(fallback=("shared", "process", "thread"))``) demotes to
+the next backend when a pool's rebuild budget is exhausted, with
+bit-identical results.  :class:`ChaosBackend` injects seeded faults
+(raise/delay/hang/kill/drop-result) by :class:`ChaosPlan` to drive every
+one of those paths deterministically in tests.
+
 Extension points: subclass :class:`ExecutionBackend` and pass an instance as
 ``backend=`` to plug in future executors (asyncio, distributed schedulers,
 GPU streams) without touching any call site.
@@ -48,6 +60,7 @@ GPU streams) without touching any call site.
 
 from repro.parallel.backends import (
     ExecutionBackend,
+    FallbackBackend,
     JobOutcome,
     ProcessBackend,
     SerialBackend,
@@ -55,6 +68,14 @@ from repro.parallel.backends import (
     backend_scope,
     pickled_nbytes,
     resolve_backend,
+)
+from repro.parallel.chaos import ChaosBackend, ChaosError, ChaosPlan
+from repro.parallel.retry import (
+    DEFAULT_MAX_POOL_REBUILDS,
+    JobTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+    WorkerPoolExhausted,
 )
 from repro.parallel.shared import (
     SharedArrayPlan,
@@ -65,14 +86,23 @@ from repro.parallel.shared import (
 )
 
 __all__ = [
+    "ChaosBackend",
+    "ChaosError",
+    "ChaosPlan",
+    "DEFAULT_MAX_POOL_REBUILDS",
     "ExecutionBackend",
+    "FallbackBackend",
     "JobOutcome",
+    "JobTimeoutError",
     "ProcessBackend",
+    "RetryPolicy",
     "SerialBackend",
     "SharedArrayPlan",
     "SharedMemoryBackend",
     "SharedResultPlan",
     "ThreadBackend",
+    "WorkerCrashError",
+    "WorkerPoolExhausted",
     "backend_scope",
     "pickled_nbytes",
     "publish_result_arrays",

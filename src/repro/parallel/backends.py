@@ -17,23 +17,67 @@ Design rules every backend must follow:
 * **Determinism is the caller's job.** Backends never draw randomness; any
   stochastic job must receive its own pre-spawned seed/generator so results
   are bit-identical across backends (see :func:`repro.utils.rng.spawn_rng`).
+
+Fault tolerance (see :mod:`repro.parallel.retry`): every backend accepts a
+:class:`~repro.parallel.retry.RetryPolicy` — per call
+(``map_jobs(..., retry=...)``) or as an instance default
+(``resolve_backend(..., retry=...)``).  The policy adds bounded retries
+with deterministic backoff, per-attempt timeouts enforced by watchdogs
+that abandon hung work, and a whole-fan-out deadline.  The process
+backends additionally recover from killed workers without a policy:
+a broken pool is rebuilt (bounded by ``max_pool_rebuilds``), surviving
+chunks are re-dispatched in quarantine — one at a time, bisected on
+repeat breakage — so a single poison job is isolated to a single-job
+chunk whose failure is recorded per job while its innocent chunk-mates'
+results are recovered.  :class:`FallbackBackend` chains backends and
+demotes (e.g. shared -> process -> thread) when a pool's rebuild budget
+is exhausted; jobs carry their own seeds, so demotion never changes
+results.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import threading
 import time
 import traceback as traceback_module
 from abc import ABC, abstractmethod
+from collections import deque
 from contextlib import contextmanager
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import ParallelExecutionError, ValidationError
+from repro.parallel.retry import (
+    DEFAULT_MAX_POOL_REBUILDS,
+    JobTimeoutError,
+    RetryPolicy,
+    WorkerCrashError,
+    WorkerPoolExhausted,
+)
+
+logger = logging.getLogger("repro.parallel")
 
 OnResult = Optional[Callable[["JobOutcome"], None]]
 
@@ -58,6 +102,18 @@ class JobOutcome:
         Formatted traceback of the failure, for diagnostics.
     duration_seconds:
         Wall-clock seconds the job spent executing in its worker.
+    attempts:
+        Dispatches this job consumed (``1`` without retries; ``0`` when a
+        fan-out deadline expired before the job ever ran).
+    retried:
+        Whether the job was dispatched more than once.
+    timed_out:
+        Whether the recorded failure is a per-attempt timeout or fan-out
+        deadline expiry rather than a raising job.
+
+    The three fault-tolerance fields default to the historical
+    single-attempt values, so outcomes pickled by older code (and JSON
+    consumers reading ``as_dict``-style rows) keep loading unchanged.
     """
 
     index: int
@@ -66,6 +122,9 @@ class JobOutcome:
     exception: Optional[BaseException] = field(default=None, repr=False)
     traceback: Optional[str] = field(default=None, repr=False)
     duration_seconds: float = 0.0
+    attempts: int = 1
+    retried: bool = False
+    timed_out: bool = False
 
     @property
     def ok(self) -> bool:
@@ -126,10 +185,93 @@ def _execute_chunk(
     return [_execute_one(fn, index, job) for index, job in chunk]
 
 
+def _timeout_outcome(index: int, message: str) -> JobOutcome:
+    """A ``timed_out`` failure outcome carrying a :class:`JobTimeoutError`."""
+    exc = JobTimeoutError(message)
+    return JobOutcome(
+        index=index,
+        error=f"{type(exc).__name__}: {message}",
+        exception=exc,
+        timed_out=True,
+    )
+
+
+def _execute_with_budget(
+    fn: Callable[[Any], Any], index: int, job: Any, budget: Optional[float]
+) -> JobOutcome:
+    """Run one job, abandoning it with a ``timed_out`` outcome after ``budget`` s.
+
+    Without a budget the job runs inline.  With one, it runs on a daemon
+    watchdog thread that is *abandoned* (not killed — Python cannot kill a
+    thread) when the budget expires; the hung call keeps a daemon thread
+    busy but the fan-out moves on.
+    """
+    if budget is None:
+        return _execute_one(fn, index, job)
+    if budget <= 0:
+        return _timeout_outcome(
+            index, f"job {index} had no time budget left before it could run"
+        )
+    box: List[JobOutcome] = []
+    worker = threading.Thread(
+        target=lambda: box.append(_execute_one(fn, index, job)),
+        name=f"repro-job-watchdog-{index}",
+        daemon=True,
+    )
+    worker.start()
+    worker.join(budget)
+    if box:
+        return box[0]
+    return _timeout_outcome(
+        index, f"job {index} exceeded its {budget:.3f} s attempt budget"
+    )
+
+
+def _run_one_with_policy(
+    fn: Callable[[Any], Any],
+    index: int,
+    job: Any,
+    policy: RetryPolicy,
+    deadline_at: Optional[float],
+) -> JobOutcome:
+    """The in-process (serial/thread) attempt loop for one job."""
+    attempts = 0
+    while True:
+        attempts += 1
+        budget = policy.timeout
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            budget = remaining if budget is None else min(budget, remaining)
+        outcome = _execute_with_budget(fn, index, job, budget)
+        outcome.attempts = attempts
+        outcome.retried = attempts > 1
+        if outcome.ok:
+            return outcome
+        past_deadline = deadline_at is not None and time.monotonic() >= deadline_at
+        if past_deadline or not policy.should_retry(outcome.exception, attempts):
+            return outcome
+        delay = policy.backoff_seconds(attempts + 1, index)
+        if delay > 0:
+            if deadline_at is not None:
+                delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+            time.sleep(delay)
+
+
 class ExecutionBackend(ABC):
     """Maps a function over jobs, with ordered results and error capture."""
 
     name: str = "abstract"
+
+    #: Instance-default :class:`RetryPolicy` applied when ``map_jobs`` is
+    #: called without an explicit ``retry=`` (set by ``resolve_backend``).
+    retry: Optional[RetryPolicy] = None
+
+    # Cumulative fault-tolerance counters (mirroring ``bytes_shipped`` on
+    # the process backends): callers snapshot them around a dispatch to
+    # attribute fault activity per fan-out.
+    attempts: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
 
     @abstractmethod
     def map_jobs(
@@ -138,16 +280,30 @@ class ExecutionBackend(ABC):
         jobs: Sequence[Any],
         *,
         on_result: OnResult = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
         """Apply ``fn`` to every job and return ordered :class:`JobOutcome`\\ s.
 
-        ``on_result`` is invoked once per outcome as soon as it is available:
-        in submission order for :class:`SerialBackend`, in completion order
-        for the parallel backends (callers needing strict streaming order
-        should iterate the returned list instead).  Implementations MUST
-        invoke ``on_result`` from the thread that called ``map_jobs`` —
-        callers rely on this to keep their callbacks single-threaded.
+        ``on_result`` is invoked once per job, on its *final* outcome, as
+        soon as that outcome is settled: in submission order for
+        :class:`SerialBackend`, in completion order for the parallel
+        backends (callers needing strict streaming order should iterate the
+        returned list instead).  Implementations MUST invoke ``on_result``
+        from the thread that called ``map_jobs`` — callers rely on this to
+        keep their callbacks single-threaded.
+
+        ``retry`` applies a :class:`~repro.parallel.retry.RetryPolicy` to
+        this call (overriding the instance default); ``None`` keeps the
+        single-attempt behaviour.
         """
+
+    def _effective_retry(self, retry: Optional[RetryPolicy]) -> Optional[RetryPolicy]:
+        policy = retry if retry is not None else self.retry
+        if policy is not None and not isinstance(policy, RetryPolicy):
+            raise ValidationError(
+                f"retry must be a RetryPolicy or None, got {type(policy).__name__}"
+            )
+        return policy
 
     def close(self) -> None:
         """Release any pooled workers (no-op for stateless backends)."""
@@ -182,7 +338,9 @@ class SerialBackend(ExecutionBackend):
 
     This is the default everywhere: it adds no overhead, keeps tracebacks
     trivial, and — because jobs carry their own seeds — produces exactly the
-    same results as the parallel backends.
+    same results as the parallel backends.  With a retry policy, timed
+    attempts run on a watchdog thread so a hung job is abandoned instead of
+    blocking the fan-out; without one, nothing leaves the calling thread.
     """
 
     name = "serial"
@@ -193,10 +351,30 @@ class SerialBackend(ExecutionBackend):
         jobs: Sequence[Any],
         *,
         on_result: OnResult = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
+        policy = self._effective_retry(retry)
+        deadline_at = (
+            time.monotonic() + policy.deadline
+            if policy is not None and policy.deadline is not None
+            else None
+        )
         outcomes: List[JobOutcome] = []
         for index, job in enumerate(jobs):
-            outcome = _execute_one(fn, index, job)
+            if policy is None:
+                outcome = _execute_one(fn, index, job)
+            elif deadline_at is not None and time.monotonic() >= deadline_at:
+                outcome = _timeout_outcome(
+                    index,
+                    f"fan-out deadline of {policy.deadline} s expired before "
+                    f"job {index} ran",
+                )
+                outcome.attempts = 0
+            else:
+                outcome = _run_one_with_policy(fn, index, job, policy, deadline_at)
+            self.attempts += outcome.attempts
+            if outcome.timed_out:
+                self.timeouts += 1
             if on_result is not None:
                 on_result(outcome)
             outcomes.append(outcome)
@@ -247,21 +425,66 @@ class ThreadBackend(ExecutionBackend):
         jobs: Sequence[Any],
         *,
         on_result: OnResult = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
         jobs = list(jobs)
         if not jobs:
             return []
+        policy = self._effective_retry(retry)
+        deadline_at = (
+            time.monotonic() + policy.deadline
+            if policy is not None and policy.deadline is not None
+            else None
+        )
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         pool = self._executor()
-        futures = {
-            pool.submit(_execute_one, fn, index, job): index
-            for index, job in enumerate(jobs)
-        }
-        for future in as_completed(futures):
-            outcome = future.result()
-            outcomes[outcome.index] = outcome
-            if on_result is not None:
-                on_result(outcome)
+        if policy is None:
+            futures = {
+                pool.submit(_execute_one, fn, index, job): index
+                for index, job in enumerate(jobs)
+            }
+        else:
+            # The attempt loop (with its timeout watchdogs) runs inside the
+            # pool worker; a hung attempt parks a daemon watchdog thread,
+            # never the pool worker itself, so close() cannot deadlock.
+            futures = {
+                pool.submit(
+                    _run_one_with_policy, fn, index, job, policy, deadline_at
+                ): index
+                for index, job in enumerate(jobs)
+            }
+        try:
+            remaining = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - time.monotonic())
+            )
+            for future in as_completed(futures, timeout=remaining):
+                outcome = future.result()
+                outcomes[outcome.index] = outcome
+                self.attempts += outcome.attempts
+                if outcome.timed_out:
+                    self.timeouts += 1
+                if on_result is not None:
+                    on_result(outcome)
+        except _FuturesTimeout:
+            # Fan-out deadline expired with jobs still queued/running: the
+            # queued ones are cancelled, the running ones are abandoned (the
+            # per-attempt watchdogs inside them expire on the same deadline).
+            for future, index in futures.items():
+                if outcomes[index] is not None:
+                    continue
+                future.cancel()
+                outcome = _timeout_outcome(
+                    index,
+                    f"fan-out deadline of {policy.deadline} s expired before "
+                    f"job {index} finished",
+                )
+                outcome.attempts = 0
+                outcomes[index] = outcome
+                self.timeouts += 1
+                if on_result is not None:
+                    on_result(outcome)
         return self._collect(outcomes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -275,6 +498,17 @@ class ProcessBackend(ExecutionBackend):
     must be a module-level callable and jobs/results must be picklable.
     ``chunk_size`` groups several jobs per worker task to amortise IPC
     overhead when jobs are small.
+
+    Worker loss is recovered, policy or not: when the pool breaks
+    (a worker was killed), it is rebuilt — bounded by
+    ``max_pool_rebuilds`` of the retry policy (default
+    ``DEFAULT_MAX_POOL_REBUILDS``) — and every chunk that was in flight is
+    *quarantined*: re-dispatched alone on the fresh pool, and bisected on
+    repeat breakage until the poison job sits in a single-job chunk whose
+    worker-crash failure is recorded per job, while every innocent
+    chunk-mate's result is recovered.  Per-attempt timeouts abandon hung
+    workers (the pool is terminated and rebuilt) instead of blocking
+    forever.
     """
 
     name = "process"
@@ -291,6 +525,8 @@ class ProcessBackend(ExecutionBackend):
         #: Cumulative pickled payload bytes submitted across every
         #: ``map_jobs`` call (jobs only, not results) — callers snapshot it
         #: around a dispatch to attribute transfer volume per fan-out.
+        #: Counted per *submitted chunk*, so a pool that breaks mid-fan-out
+        #: never accounts for bytes that were never shipped.
         self.bytes_shipped = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -329,65 +565,446 @@ class ProcessBackend(ExecutionBackend):
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def _abandon_pool(self) -> None:
+        """Forcefully drop a pool whose workers are hung.
+
+        ``shutdown(wait=True)`` would block on the hung worker forever, so
+        the workers are terminated and the executor is shut down without
+        waiting; terminated children are reaped with a bounded join.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - executor already broken
+            pass
+        for process in processes:
+            try:
+                process.join(timeout=1.0)
+            except Exception:  # noqa: BLE001
+                pass
+
     def map_jobs(
         self,
         fn: Callable[[Any], Any],
         jobs: Sequence[Any],
         *,
         on_result: OnResult = None,
+        retry: Optional[RetryPolicy] = None,
+        _finalize: OnResult = None,
     ) -> List[JobOutcome]:
+        # ``_finalize`` is an internal hook (used by SharedMemoryBackend to
+        # resolve worker-published result segments): it runs on the calling
+        # thread, on every completed outcome, *before* the retry decision —
+        # so a lost segment is a retryable per-job failure, not a surprise
+        # after the fan-out settled.
         jobs = list(jobs)
         if not jobs:
             return []
-        self.bytes_shipped += sum(pickled_nbytes(job) for job in jobs)
+        policy = self._effective_retry(retry)
+        timeout = None if policy is None else policy.timeout
+        deadline_at = (
+            time.monotonic() + policy.deadline
+            if policy is not None and policy.deadline is not None
+            else None
+        )
+        max_rebuilds = (
+            DEFAULT_MAX_POOL_REBUILDS
+            if policy is None
+            else int(policy.max_pool_rebuilds)
+        )
+
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        attempts = [0] * len(jobs)
         indexed = list(enumerate(jobs))
-        chunks = [
+        #: Chunks awaiting a normal (parallel) dispatch.
+        normal: Deque[List[Tuple[int, Any]]] = deque(
             indexed[start : start + self.chunk_size]
             for start in range(0, len(indexed), self.chunk_size)
-        ]
-        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
-        pool = self._executor()
-        pool_broken = False
-        try:
-            futures = {
-                pool.submit(_execute_chunk, fn, chunk): chunk for chunk in chunks
-            }
-            for future in as_completed(futures):
-                chunk = futures[future]
+        )
+        #: Chunks implicated in a pool breakage: dispatched one at a time so
+        #: repeat breakage unambiguously convicts the dispatched chunk.
+        quarantined: Deque[List[Tuple[int, Any]]] = deque()
+        rebuilds = 0
+        next_round_delay = 0.0
+
+        def record(outcome: JobOutcome) -> None:
+            """Settle one job's final outcome and stream it to the caller."""
+            outcome.attempts = attempts[outcome.index]
+            outcome.retried = attempts[outcome.index] > 1
+            if outcome.timed_out:
+                self.timeouts += 1
+            outcomes[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        def settle(outcome: JobOutcome) -> None:
+            """Retry a failed outcome when the policy allows, else record it."""
+            nonlocal next_round_delay
+            index = outcome.index
+            if _finalize is not None:
+                _finalize(outcome)  # may turn an ok outcome into a per-job error
+            if outcome.ok or policy is None:
+                record(outcome)
+                return
+            past_deadline = (
+                deadline_at is not None and time.monotonic() >= deadline_at
+            )
+            if past_deadline or not policy.should_retry(
+                outcome.exception, attempts[index]
+            ):
+                record(outcome)
+                return
+            next_round_delay = max(
+                next_round_delay, policy.backoff_seconds(attempts[index] + 1, index)
+            )
+            normal.append([(index, jobs[index])])
+
+        def drain(outcome_for: Callable[[int], JobOutcome]) -> None:
+            """Record a synthetic final outcome for every still-queued job."""
+            while normal or quarantined:
+                chunk = (normal if normal else quarantined).popleft()
+                for index, _ in chunk:
+                    record(outcome_for(index))
+
+        while normal or quarantined:
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                drain(
+                    lambda index: _timeout_outcome(
+                        index,
+                        f"fan-out deadline of {policy.deadline} s expired "
+                        f"before job {index} finished",
+                    )
+                )
+                break
+            if rebuilds > max_rebuilds:
+                def _exhausted(index: int) -> JobOutcome:
+                    exc = WorkerPoolExhausted(
+                        f"worker pool broke {rebuilds} times "
+                        f"(max_pool_rebuilds={max_rebuilds}); job {index} "
+                        "abandoned"
+                    )
+                    return JobOutcome(
+                        index=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                        exception=exc,
+                    )
+
+                drain(_exhausted)
+                break
+            if next_round_delay > 0:
+                delay = next_round_delay
+                if deadline_at is not None:
+                    delay = min(delay, max(0.0, deadline_at - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+                next_round_delay = 0.0
+
+            isolated = not normal
+            if isolated:
+                batch = [quarantined.popleft()]
+            else:
+                batch = list(normal)
+                normal.clear()
+            pool = self._executor()
+            submitted: Dict[Any, List[Tuple[int, Any]]] = {}
+            expiry: Dict[Any, Optional[float]] = {}
+            pool_broken = False
+            pool_hung = False
+            round_start = time.monotonic()
+            for position, chunk in enumerate(batch):
+                for index, _ in chunk:
+                    attempts[index] += 1
+                    self.attempts += 1
+                self.bytes_shipped += sum(
+                    pickled_nbytes(job) for _, job in chunk
+                )
                 try:
-                    chunk_outcomes = future.result()
-                except Exception as exc:  # noqa: BLE001 - pickling/worker loss
-                    if isinstance(exc, BrokenProcessPool):
+                    future = pool.submit(_execute_chunk, fn, chunk)
+                except Exception:  # noqa: BLE001 - pool broke between submits
+                    pool_broken = True
+                    # Never dispatched: give the attempt (and its bytes,
+                    # approximately) back and requeue everything not yet
+                    # submitted for the next round.
+                    for index, _ in chunk:
+                        attempts[index] -= 1
+                        self.attempts -= 1
+                    self.bytes_shipped -= sum(
+                        pickled_nbytes(job) for _, job in chunk
+                    )
+                    for left in [chunk] + batch[position + 1 :]:
+                        (quarantined if isolated else normal).append(left)
+                    break
+                submitted[future] = chunk
+                chunk_expiry = (
+                    None
+                    if timeout is None
+                    else round_start + float(timeout) * len(chunk)
+                )
+                if deadline_at is not None:
+                    chunk_expiry = (
+                        deadline_at
+                        if chunk_expiry is None
+                        else min(chunk_expiry, deadline_at)
+                    )
+                expiry[future] = chunk_expiry
+
+            pending = set(submitted)
+            while pending:
+                now = time.monotonic()
+                expiries = [
+                    expiry[future]
+                    for future in pending
+                    if expiry[future] is not None
+                ]
+                if expiries:
+                    done, _ = wait(
+                        pending,
+                        timeout=max(0.0, min(expiries) - now),
+                        return_when=FIRST_COMPLETED,
+                    )
+                else:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    pending.discard(future)
+                    chunk = submitted[future]
+                    try:
+                        chunk_outcomes = future.result()
+                    except BrokenProcessPool as exc:
                         pool_broken = True
-                    # The whole chunk failed before the per-job wrapper could
-                    # run (unpicklable payload, killed worker, ...): record the
-                    # failure on every job of the chunk instead of crashing.
-                    chunk_outcomes = [
-                        JobOutcome(
-                            index=index,
-                            error=f"{type(exc).__name__}: {exc}",
-                            exception=exc,
-                            traceback=traceback_module.format_exc(),
+                        if not isolated:
+                            # Any in-flight chunk may be the killer:
+                            # quarantine them all, each re-runs alone on the
+                            # rebuilt pool.
+                            quarantined.append(chunk)
+                        elif len(chunk) > 1:
+                            # This chunk, dispatched alone, broke the pool:
+                            # bisect to pin the poison job down.
+                            middle = len(chunk) // 2
+                            quarantined.append(chunk[:middle])
+                            quarantined.append(chunk[middle:])
+                        else:
+                            index = chunk[0][0]
+                            crash = WorkerCrashError(
+                                f"job {index} killed its worker process "
+                                f"(attempt {attempts[index]}): {exc}"
+                            )
+                            record(
+                                JobOutcome(
+                                    index=index,
+                                    error=f"{type(crash).__name__}: {crash}",
+                                    exception=crash,
+                                )
+                            )
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - unpicklable payload etc.
+                        chunk_outcomes = [
+                            JobOutcome(
+                                index=index,
+                                error=f"{type(exc).__name__}: {exc}",
+                                exception=exc,
+                                traceback=traceback_module.format_exc(),
+                            )
+                            for index, _ in chunk
+                        ]
+                    for outcome in chunk_outcomes:
+                        settle(outcome)
+                if done:
+                    continue
+                # Nothing completed within the shortest attempt budget: the
+                # expired chunks' workers are hung.
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future in pending
+                    if expiry[future] is not None and now >= expiry[future]
+                ]
+                if not expired:
+                    continue
+                pool_hung = True
+                for future in expired:
+                    pending.discard(future)
+                    for index, _ in submitted[future]:
+                        settle(
+                            _timeout_outcome(
+                                index,
+                                f"job {index} exceeded its attempt budget "
+                                f"(timeout={timeout}, attempt "
+                                f"{attempts[index]})",
+                            )
                         )
-                        for index, _ in chunk
-                    ]
-                for outcome in chunk_outcomes:
-                    outcomes[outcome.index] = outcome
-                    if on_result is not None:
-                        on_result(outcome)
-        except BrokenProcessPool:
-            # A dead pool cannot be reused; drop it so the next call starts
-            # fresh, then surface the failure to the caller.
-            self.close()
-            raise
-        if pool_broken:
-            # Errors were captured per job, but the pool itself is dead —
-            # discard it so the next map_jobs call starts a fresh one.
-            self.close()
+                break
+
+            if pool_hung:
+                # The expired chunks' workers are stuck; in-flight innocents
+                # are requeued (a cancelled-before-start chunk gets its
+                # attempt back) and the pool is terminated, not joined.
+                for future in pending:
+                    chunk = submitted[future]
+                    if future.cancel():
+                        for index, _ in chunk:
+                            attempts[index] -= 1
+                            self.attempts -= 1
+                    (quarantined if isolated else normal).append(chunk)
+                self._abandon_pool()
+                rebuilds += 1
+                self.pool_rebuilds += 1
+            elif pool_broken:
+                # A dead pool cannot be reused; drop it so the next round
+                # starts a fresh one (its workers are dead, so the shutdown
+                # in close() cannot block).
+                self.close()
+                rebuilds += 1
+                self.pool_rebuilds += 1
         return self._collect(outcomes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ProcessBackend(n_workers={self.n_workers}, chunk_size={self.chunk_size})"
+
+
+class FallbackBackend(ExecutionBackend):
+    """An ordered chain of backends with automatic demotion.
+
+    ``map_jobs`` runs on the active backend; when any outcome carries a
+    :class:`~repro.parallel.retry.WorkerPoolExhausted` (the pool broke more
+    times than its rebuild budget), the chain logs a structured warning,
+    closes the exhausted backend (if the chain owns it) and re-runs the
+    *whole* fan-out on the next backend.  Jobs carry their own seeds, so
+    the re-run is bit-identical by construction — demotion trades speed for
+    survival, never results.  The demotion is sticky: later fan-outs start
+    on the demoted backend.
+
+    ``on_result`` is buffered until a backend's results are accepted (a
+    fan-out that is about to be re-run must not stream half its outcomes),
+    then replayed in submission order on the calling thread.
+
+    Build one with ``resolve_backend(fallback=("shared", "process",
+    "thread"))``; the recorded :attr:`demotions` list is the structured
+    audit trail.
+    """
+
+    name = "fallback"
+
+    def __init__(
+        self,
+        backends: Sequence[ExecutionBackend],
+        *,
+        owned: Optional[Sequence[ExecutionBackend]] = None,
+    ) -> None:
+        backends = list(backends)
+        if len(backends) < 2:
+            raise ValidationError(
+                "a fallback chain needs at least two backends (a primary "
+                "plus at least one fallback)"
+            )
+        for backend in backends:
+            if not isinstance(backend, ExecutionBackend):
+                raise ValidationError(
+                    "every fallback chain member must be an ExecutionBackend, "
+                    f"got {type(backend).__name__}"
+                )
+        self.backends = backends
+        self._owned = list(backends) if owned is None else list(owned)
+        self.active_index = 0
+        #: Structured audit trail of every demotion this chain performed.
+        self.demotions: List[Dict[str, object]] = []
+
+    @property
+    def active(self) -> ExecutionBackend:
+        """The backend currently serving fan-outs."""
+        return self.backends[self.active_index]
+
+    # Aggregated counters: the chain reports the sum over its members, so
+    # callers snapshotting deltas (PipelineContext.dispatch) see fault
+    # activity no matter which member served the fan-out.
+    @property
+    def bytes_shipped(self) -> int:  # type: ignore[override]
+        return sum(int(getattr(b, "bytes_shipped", 0)) for b in self.backends)
+
+    @property
+    def attempts(self) -> int:  # type: ignore[override]
+        return sum(int(getattr(b, "attempts", 0)) for b in self.backends)
+
+    @property
+    def timeouts(self) -> int:  # type: ignore[override]
+        return sum(int(getattr(b, "timeouts", 0)) for b in self.backends)
+
+    @property
+    def pool_rebuilds(self) -> int:  # type: ignore[override]
+        return sum(int(getattr(b, "pool_rebuilds", 0)) for b in self.backends)
+
+    def map_jobs(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        *,
+        on_result: OnResult = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> List[JobOutcome]:
+        jobs = list(jobs)
+        policy = self._effective_retry(retry)
+        while True:
+            backend = self.backends[self.active_index]
+            final = self.active_index >= len(self.backends) - 1
+            kwargs: Dict[str, Any] = {"on_result": on_result if final else None}
+            if policy is not None:
+                kwargs["retry"] = policy
+            outcomes = backend.map_jobs(fn, jobs, **kwargs)
+            exhausted = [
+                outcome
+                for outcome in outcomes
+                if isinstance(outcome.exception, WorkerPoolExhausted)
+            ]
+            if final or not exhausted:
+                if not final and on_result is not None:
+                    for outcome in outcomes:
+                        on_result(outcome)
+                return outcomes
+            successor = self.backends[self.active_index + 1]
+            self.demotions.append(
+                {
+                    "event": "backend_demoted",
+                    "from": backend.name,
+                    "to": successor.name,
+                    "jobs": len(jobs),
+                    "jobs_abandoned": len(exhausted),
+                    "reason": str(exhausted[0].error),
+                }
+            )
+            logger.warning(
+                "fallback: demoting execution backend %r -> %r after "
+                "worker-pool exhaustion (%d of %d jobs abandoned): %s",
+                backend.name,
+                successor.name,
+                len(exhausted),
+                len(jobs),
+                exhausted[0].error,
+            )
+            if backend in self._owned:
+                try:
+                    backend.close()
+                except Exception:  # noqa: BLE001 - already broken
+                    pass
+            self.active_index += 1
+
+    def close(self) -> None:
+        for backend in self._owned:
+            try:
+                backend.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = " -> ".join(backend.name for backend in self.backends)
+        return f"FallbackBackend({names}, active={self.active.name})"
 
 
 def _shared_memory_backend_class():
@@ -411,6 +1028,9 @@ _BACKENDS = {
 def resolve_backend(
     backend: Union[None, str, ExecutionBackend] = None,
     n_jobs: Optional[int] = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    fallback: Union[None, str, ExecutionBackend, Sequence] = None,
 ) -> ExecutionBackend:
     """Normalise the ``backend=`` / ``n_jobs=`` pair every API accepts.
 
@@ -423,20 +1043,59 @@ def resolve_backend(
       dataset plans, see :class:`repro.parallel.shared.SharedMemoryBackend`);
     * ``backend=None`` with ``n_jobs`` > 1 selects :class:`ThreadBackend`;
     * everything else (the default) is :class:`SerialBackend`.
+
+    ``retry`` installs a :class:`~repro.parallel.retry.RetryPolicy` as the
+    resolved backend's instance default.  ``fallback`` names one or more
+    further backends to demote to (a :class:`FallbackBackend` chain of
+    ``backend`` followed by the fallbacks); pool exhaustion then degrades
+    the fan-out instead of failing it, with bit-identical results.
     """
+    if retry is not None and not isinstance(retry, RetryPolicy):
+        raise ValidationError(
+            f"retry must be a RetryPolicy or None, got {type(retry).__name__}"
+        )
+    if fallback is not None:
+        if isinstance(fallback, (str, ExecutionBackend)):
+            fallback = (fallback,)
+        specs = ([backend] if backend is not None else []) + list(fallback)
+        if len(specs) < 2:
+            raise ValidationError(
+                "a fallback chain needs at least two backends; pass "
+                "backend= plus fallback=, or a fallback= sequence of two "
+                "or more"
+            )
+        members: List[ExecutionBackend] = []
+        owned: List[ExecutionBackend] = []
+        for spec in specs:
+            member = resolve_backend(
+                spec, None if isinstance(spec, ExecutionBackend) else n_jobs
+            )
+            members.append(member)
+            if member is not spec:
+                owned.append(member)
+        chain = FallbackBackend(members, owned=owned)
+        if retry is not None:
+            chain.retry = retry
+        return chain
     if isinstance(backend, ExecutionBackend):
         if n_jobs is not None:
             raise ValidationError(
                 "n_jobs cannot be combined with an ExecutionBackend instance; "
                 "configure the worker count on the instance instead"
             )
+        if retry is not None:
+            backend.retry = retry
         return backend
     if n_jobs is not None and int(n_jobs) < 1:
         raise ValidationError(f"n_jobs must be >= 1, got {n_jobs}")
     if backend is None:
         if n_jobs is not None and int(n_jobs) > 1:
-            return ThreadBackend(int(n_jobs))
-        return SerialBackend()
+            resolved: ExecutionBackend = ThreadBackend(int(n_jobs))
+        else:
+            resolved = SerialBackend()
+        if retry is not None:
+            resolved.retry = retry
+        return resolved
     if isinstance(backend, str):
         key = backend.strip().lower()
         if key not in _BACKENDS:
@@ -446,9 +1105,10 @@ def resolve_backend(
         cls = _BACKENDS[key]
         if not isinstance(cls, type):
             cls = cls()  # lazy factory (see _shared_memory_backend_class)
-        if cls is SerialBackend:
-            return SerialBackend()
-        return cls(n_jobs)
+        resolved = SerialBackend() if cls is SerialBackend else cls(n_jobs)
+        if retry is not None:
+            resolved.retry = retry
+        return resolved
     raise ValidationError(
         f"backend must be None, a name, or an ExecutionBackend, got {type(backend).__name__}"
     )
@@ -458,15 +1118,20 @@ def resolve_backend(
 def backend_scope(
     backend: Union[None, str, ExecutionBackend] = None,
     n_jobs: Optional[int] = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    fallback: Union[None, str, ExecutionBackend, Sequence] = None,
 ):
     """Resolve a backend for the duration of one pipeline run.
 
     Backends created here (from ``None`` or a name) hold pooled workers that
     are released on exit; a caller-supplied :class:`ExecutionBackend`
     instance is passed through untouched and stays open, since its lifetime
-    belongs to the caller.
+    belongs to the caller.  ``retry`` / ``fallback`` are forwarded to
+    :func:`resolve_backend` (a fallback chain created here closes only the
+    members it resolved itself).
     """
-    resolved = resolve_backend(backend, n_jobs)
+    resolved = resolve_backend(backend, n_jobs, retry=retry, fallback=fallback)
     owned = resolved is not backend
     try:
         yield resolved

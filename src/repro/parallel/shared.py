@@ -53,6 +53,7 @@ except ImportError:  # pragma: no cover
 
 from repro.exceptions import ParallelExecutionError, ValidationError
 from repro.parallel.backends import JobOutcome, OnResult, ProcessBackend
+from repro.parallel.retry import RetryPolicy
 
 #: Arrays smaller than this travel as plain pickles: a shared-memory
 #: segment costs a file descriptor and an mmap per worker, which only pays
@@ -527,6 +528,7 @@ class SharedMemoryBackend(ProcessBackend):
         jobs: Sequence[Any],
         *,
         on_result: OnResult = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> List[JobOutcome]:
         jobs = list(jobs)
         if not jobs:
@@ -537,14 +539,14 @@ class SharedMemoryBackend(ProcessBackend):
         result_plan = SharedResultPlan()
         resolved_ids = set()
 
-        def resolve_then_forward(outcome: JobOutcome) -> None:
-            # Refs must never leak to the caller: resolve before its
-            # callback observes the outcome (still on the calling thread,
-            # per the map_jobs contract).
+        def resolve_refs(outcome: JobOutcome) -> None:
+            # Runs inside ProcessBackend's settle step, *before* its retry
+            # decision and before on_result observes the outcome (still on
+            # the calling thread, per the map_jobs contract) — so a vanished
+            # result segment is a retryable per-job failure, and refs never
+            # leak to the caller.
             self._resolve_outcome(outcome, result_plan)
             resolved_ids.add(id(outcome))
-            if on_result is not None:
-                on_result(outcome)
 
         try:
             try:
@@ -561,12 +563,14 @@ class SharedMemoryBackend(ProcessBackend):
             outcomes = super().map_jobs(
                 submit_fn,
                 submitted,
-                on_result=resolve_then_forward if publishing else on_result,
+                on_result=on_result,
+                retry=retry,
+                _finalize=resolve_refs if publishing else None,
             )
             if publishing:
-                # Belt and braces: every outcome passed through on_result
-                # already; anything that somehow did not is resolved here
-                # so a ref can never escape.
+                # Belt and braces: every settled outcome already passed
+                # through the finalize hook; anything that somehow did not
+                # is resolved here so a ref can never escape.
                 for outcome in outcomes:
                     if id(outcome) not in resolved_ids:
                         self._resolve_outcome(outcome, result_plan)

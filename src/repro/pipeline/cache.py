@@ -76,6 +76,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Corrupt checkpoints renamed aside (``*.corrupt``) on a failed load.
+    quarantines: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -83,6 +85,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantines": self.quarantines,
         }
 
 
@@ -369,10 +372,14 @@ class DiskStageCache(StageCache):
                 outputs = pickle.load(handle)
         except Exception:  # noqa: BLE001 - a corrupt checkpoint is a miss
             # A checkpoint that cannot be replayed must never poison the
-            # run; the stage simply re-executes and overwrites it.
+            # run; quarantining it (rename to *.corrupt) turns what would
+            # be a silent re-read-and-re-miss on every future run into a
+            # one-time event that leaves the bytes behind for diagnosis.
+            self._quarantine(key)
             self.counters.misses += 1
             return None
         if not isinstance(outputs, dict):
+            self._quarantine(key)
             self.counters.misses += 1
             return None
         self.counters.hits += 1
@@ -380,6 +387,30 @@ class DiskStageCache(StageCache):
             self._touch(key, hit=True)
             self._save_index()
         return outputs
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt checkpoint aside so it is never re-read.
+
+        Payload and meta are renamed to ``*.corrupt`` (atomic within the
+        directory, best-effort if a concurrent clear already removed them)
+        and the key leaves the advisory ledger.  The ``.corrupt`` suffix
+        matches neither ``*.pkl`` nor ``*.json``, so ``entries()``,
+        ``clear()`` and eviction never look at a quarantined file again —
+        but the bytes stay on disk for diagnosis instead of being silently
+        re-read and re-missed on every future run.
+        """
+        quarantined = False
+        for path in (self._payload_path(key), self._meta_path(key)):
+            try:
+                os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+                quarantined = True
+            except OSError:
+                pass
+        if quarantined:
+            self.counters.quarantines += 1
+        with self._lock:
+            if self._index.pop(key, None) is not None:
+                self._save_index()
 
     def put(self, key: str, outputs: Dict[str, object], meta: CacheEntryMeta) -> None:
         # Unique tmp names (mkstemp): two processes sharing the directory

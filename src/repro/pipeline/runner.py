@@ -24,6 +24,14 @@ from repro.pipeline.cache import CacheEntryMeta, StageCache
 from repro.pipeline.fingerprint import fingerprint
 from repro.pipeline.stage import PipelineContext, Stage
 
+_FAULT_COUNTERS = ("attempts", "timeouts", "pool_rebuilds")
+
+
+def _fault_snapshot(ctx: PipelineContext, stage_name: str) -> Dict[str, int]:
+    """Current cumulative fault counters attributed to ``stage_name``."""
+    stats = ctx.fault_stats.get(stage_name) or {}
+    return {name: int(stats.get(name, 0)) for name in _FAULT_COUNTERS}
+
 
 @dataclass
 class StageRecord:
@@ -40,6 +48,14 @@ class StageRecord:
     #: serial/thread dispatches and cache replays; a fused pair's volume is
     #: attributed to the pair's *first* record, which ran the dispatch).
     bytes_shipped: int = 0
+    #: Fault-tolerance counters for this stage's dispatches (see
+    #: :class:`~repro.parallel.ExecutionBackend`): job dispatches consumed,
+    #: jobs whose final outcome timed out, and worker pools rebuilt.  All
+    #: zero for cache replays; a fused pair's activity is attributed to the
+    #: pair's first record, like ``bytes_shipped``.
+    attempts: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -50,6 +66,9 @@ class StageRecord:
             "outputs": list(self.outputs),
             "fused": self.fused,
             "bytes_shipped": int(self.bytes_shipped),
+            "attempts": int(self.attempts),
+            "timeouts": int(self.timeouts),
+            "pool_rebuilds": int(self.pool_rebuilds),
         }
 
 
@@ -84,6 +103,33 @@ class PipelineReport:
     def stage_bytes_shipped(self) -> Dict[str, int]:
         """Mapping stage name -> pickled payload bytes shipped to workers."""
         return {record.name: int(record.bytes_shipped) for record in self.records}
+
+    @property
+    def stage_fault_stats(self) -> Dict[str, Dict[str, int]]:
+        """Mapping stage name -> its attempts/timeouts/pool_rebuilds counters."""
+        return {
+            record.name: {
+                "attempts": int(record.attempts),
+                "timeouts": int(record.timeouts),
+                "pool_rebuilds": int(record.pool_rebuilds),
+            }
+            for record in self.records
+        }
+
+    @property
+    def total_attempts(self) -> int:
+        """Job dispatches consumed across every stage of the run."""
+        return sum(int(record.attempts) for record in self.records)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Jobs whose final outcome timed out, across every stage."""
+        return sum(int(record.timeouts) for record in self.records)
+
+    @property
+    def total_pool_rebuilds(self) -> int:
+        """Worker pools rebuilt after breakage/hangs, across every stage."""
+        return sum(int(record.pool_rebuilds) for record in self.records)
 
     def record_for(self, name: str) -> StageRecord:
         for record in self.records:
@@ -267,6 +313,7 @@ class Pipeline:
                 index += 2
                 continue
             bytes_before = ctx.bytes_shipped.get(stage.name, 0)
+            faults_before = _fault_snapshot(ctx, stage.name)
             with ctx.watch.section(f"stage:{stage.name}"):
                 outputs = dict(stage.run(ctx))
             self._check_outputs(stage, outputs)
@@ -285,6 +332,7 @@ class Pipeline:
                         created_unix=time.time(),
                     ),
                 )
+            faults_after = _fault_snapshot(ctx, stage.name)
             report.records.append(
                 StageRecord(
                     name=stage.name,
@@ -293,6 +341,10 @@ class Pipeline:
                     seconds=seconds,
                     outputs=sorted(outputs),
                     bytes_shipped=ctx.bytes_shipped.get(stage.name, 0) - bytes_before,
+                    attempts=faults_after["attempts"] - faults_before["attempts"],
+                    timeouts=faults_after["timeouts"] - faults_before["timeouts"],
+                    pool_rebuilds=faults_after["pool_rebuilds"]
+                    - faults_before["pool_rebuilds"],
                 )
             )
             index += 1
@@ -330,6 +382,7 @@ class Pipeline:
         true split.
         """
         bytes_before = ctx.bytes_shipped.get(stage.name, 0)
+        faults_before = _fault_snapshot(ctx, stage.name)
         with ctx.watch.section(f"stage:{stage.name}"):
             first_outputs, second_outputs = stage.run_fused(partner, ctx)
             first_outputs = dict(first_outputs)
@@ -369,6 +422,7 @@ class Pipeline:
                     created_unix=time.time(),
                 ),
             )
+        faults_after = _fault_snapshot(ctx, stage.name)
         report.records.append(
             StageRecord(
                 name=stage.name,
@@ -378,6 +432,10 @@ class Pipeline:
                 outputs=sorted(first_outputs),
                 fused=True,
                 bytes_shipped=ctx.bytes_shipped.get(stage.name, 0) - bytes_before,
+                attempts=faults_after["attempts"] - faults_before["attempts"],
+                timeouts=faults_after["timeouts"] - faults_before["timeouts"],
+                pool_rebuilds=faults_after["pool_rebuilds"]
+                - faults_before["pool_rebuilds"],
             )
         )
         report.records.append(

@@ -28,8 +28,17 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.exceptions import PipelineError
-from repro.parallel import ExecutionBackend, SerialBackend, resolve_backend
+from repro.parallel import (
+    ExecutionBackend,
+    RetryPolicy,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.utils.timing import Stopwatch
+
+#: Cumulative fault-tolerance counters snapshotted around each dispatch
+#: (see :meth:`PipelineContext.dispatch`).
+_FAULT_COUNTERS = ("attempts", "timeouts", "pool_rebuilds")
 
 
 @dataclass
@@ -58,6 +67,14 @@ class PipelineContext:
         (stage name -> cumulative bytes), filled by :meth:`dispatch`.
         Stays zero for serial/thread backends — nothing crosses a process
         boundary there.
+    retry:
+        Optional :class:`~repro.parallel.RetryPolicy` applied to every
+        fan-out dispatched through :meth:`dispatch` (``None`` keeps the
+        single-attempt behaviour).
+    fault_stats:
+        Per-stage fault-tolerance counters (stage name -> ``{"attempts",
+        "timeouts", "pool_rebuilds"}``), snapshotted from the backend's
+        cumulative counters by :meth:`dispatch` like ``bytes_shipped``.
     """
 
     config: Dict[str, object] = field(default_factory=dict)
@@ -66,6 +83,8 @@ class PipelineContext:
     stage_backends: Dict[str, ExecutionBackend] = field(default_factory=dict)
     watch: Stopwatch = field(default_factory=Stopwatch)
     bytes_shipped: Dict[str, int] = field(default_factory=dict)
+    retry: Optional[RetryPolicy] = None
+    fault_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def backend_for(self, stage_name: str) -> ExecutionBackend:
         """The backend a stage's fan-out must dispatch through."""
@@ -82,12 +101,27 @@ class PipelineContext:
         """
         backend = self.backend_for(stage_name)
         before = getattr(backend, "bytes_shipped", None)
-        outcomes = backend.map_jobs(fn, jobs, on_result=on_result)
+        counters_before = {
+            name: int(getattr(backend, name, 0)) for name in _FAULT_COUNTERS
+        }
+        if self.retry is not None:
+            # Passed only when set: custom ExecutionBackend subclasses that
+            # predate the retry contract keep working without the keyword.
+            outcomes = backend.map_jobs(
+                fn, jobs, on_result=on_result, retry=self.retry
+            )
+        else:
+            outcomes = backend.map_jobs(fn, jobs, on_result=on_result)
         if before is not None:
             delta = int(backend.bytes_shipped) - int(before)
             self.bytes_shipped[stage_name] = (
                 self.bytes_shipped.get(stage_name, 0) + delta
             )
+        stats = self.fault_stats.setdefault(
+            stage_name, {name: 0 for name in _FAULT_COUNTERS}
+        )
+        for name in _FAULT_COUNTERS:
+            stats[name] += int(getattr(backend, name, 0)) - counters_before[name]
         return outcomes
 
     def require(self, name: str) -> object:

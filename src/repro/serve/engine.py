@@ -31,7 +31,12 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.api.protocol import ServableState
-from repro.exceptions import ServiceError, ValidationError
+from repro.exceptions import (
+    ServiceError,
+    ServiceFaultError,
+    ServiceOverloadError,
+    ValidationError,
+)
 from repro.parallel import (
     ExecutionBackend,
     ProcessBackend,
@@ -167,9 +172,12 @@ class InferenceEngine:
             self._condition.notify_all()
         if not request.done.wait(timeout):
             self._abandon(request)
-            raise ServiceError(
+            # Overload, not a fault: the engine is alive but could not serve
+            # within the caller's budget — retriable after backing off.
+            raise ServiceOverloadError(
                 f"prediction timed out after {timeout} s (queue backlog or a "
-                "stalled backend)"
+                "stalled backend)",
+                retry_after=max(1.0, float(timeout or 0.0)),
             )
         if request.error is not None:
             raise request.error
@@ -216,7 +224,10 @@ class InferenceEngine:
             if not request.done.wait(remaining):
                 for abandoned in requests[index:]:
                     self._abandon(abandoned)
-                raise ServiceError(f"prediction timed out after {timeout} s")
+                raise ServiceOverloadError(
+                    f"prediction timed out after {timeout} s",
+                    retry_after=max(1.0, float(timeout or 0.0)),
+                )
             if request.error is not None:
                 # The whole call fails; still-queued siblings would only
                 # compute discarded results — shed them like the timeout path.
@@ -276,16 +287,16 @@ class InferenceEngine:
 
     @staticmethod
     def _fail_requests(requests: List[_PendingRequest], exc: BaseException) -> None:
-        """Resolve ``requests`` with a ServiceError wrapping ``exc``.
+        """Resolve ``requests`` with a ServiceFaultError wrapping ``exc``.
 
-        Dispatch failures are serving-side (dead workers, broken pools) —
-        surfacing them as ServiceError lets the HTTP layer map them to 503,
-        not a generic 500.  Each request gets its own instance: the waiters
-        re-raise from different threads and must not share mutable
-        traceback state.
+        Dispatch failures are real serving-side faults (dead workers,
+        broken pools) — distinct from overload, so the HTTP layer answers
+        500 here and reserves 503 + ``Retry-After`` for load shedding.
+        Each request gets its own instance: the waiters re-raise from
+        different threads and must not share mutable traceback state.
         """
         for request in requests:
-            error = ServiceError(
+            error = ServiceFaultError(
                 f"micro-batch dispatch failed: {type(exc).__name__}: {exc}"
             )
             error.__cause__ = exc

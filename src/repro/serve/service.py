@@ -32,6 +32,8 @@ from repro.exceptions import (
     ArtifactError,
     ModelNotFoundError,
     ServiceError,
+    ServiceFaultError,
+    ServiceOverloadError,
     ValidationError,
 )
 from repro.parallel import ExecutionBackend, resolve_backend
@@ -339,7 +341,19 @@ class ServeApplication:
             return json_error(500, str(exc))
         except ValidationError as exc:
             return json_error(400, str(exc))
+        except ServiceOverloadError as exc:
+            # Load shedding, not breakage: 503 plus the engine's suggested
+            # back-off, surfaced as a Retry-After header by the HTTP layer.
+            return json_error(
+                503, str(exc), retry_after=max(1, int(round(exc.retry_after)))
+            )
+        except ServiceFaultError as exc:
+            # A real serving-side fault (dead worker, broken dispatch):
+            # retrying blindly will not help, so this is a 500.
+            return json_error(500, str(exc))
         except ServiceError as exc:
+            # Residual service failures (e.g. a closed application/engine)
+            # keep the historical 503 contract.
             return json_error(503, str(exc))
 
         payload = {

@@ -30,6 +30,13 @@ Sub-commands:
 (a JSON estimator-config payload, sparse files allowed) and repeatable
 ``--set KEY=VALUE`` overrides; values parse as JSON with a plain-string
 fallback (``--set feature_mode=edges --set lengths=[10,20]``).
+
+Every command with ``--backend``/``--jobs`` also accepts the
+fault-tolerance knobs: ``--retries N`` (attempts per failed job),
+``--job-timeout SECONDS`` (watchdog that abandons hung jobs) and
+``--fallback CHAIN`` (comma-separated degradation chain, e.g.
+``thread,serial``).  Results stay bit-identical — retries and demotions
+trade speed for survival, never correctness.
 """
 
 from __future__ import annotations
@@ -141,6 +148,47 @@ def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="worker count; results are identical to the serial run for a fixed seed",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry failed parallel jobs up to N attempts total "
+        "(default: no failure retries; worker-loss recovery is always on)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job timeout; a job still running after this long is "
+        "abandoned and reported as timed out",
+    )
+    parser.add_argument(
+        "--fallback",
+        default=None,
+        metavar="CHAIN",
+        help="comma-separated degradation chain tried when the primary "
+        "backend exhausts its pool rebuilds, e.g. 'process,thread,serial'",
+    )
+
+
+def _parallel_options(args: argparse.Namespace):
+    """Build the ``(retry, fallback)`` pair from the parallel CLI flags."""
+    from repro.parallel import RetryPolicy
+
+    retry = None
+    if args.retries is not None or args.job_timeout is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            timeout=args.job_timeout,
+        )
+    fallback = None
+    if args.fallback:
+        names = tuple(name.strip() for name in args.fallback.split(",") if name.strip())
+        if names:
+            fallback = names
+    return retry, fallback
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -328,6 +376,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     except (ValidationError, OSError, json.JSONDecodeError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    retry, fallback = _parallel_options(args)
     session = GraphintSession(
         dataset,
         n_clusters=args.clusters if config is None else config.n_clusters,
@@ -335,6 +384,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         random_state=args.seed,
         backend=args.backend,
         n_jobs=args.jobs,
+        retry=retry,
+        fallback=fallback,
         kgraph_config=config,
     ).fit()
     summary = session.summary()
@@ -348,8 +399,14 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 def _cmd_dashboard(args: argparse.Namespace) -> int:
     dataset = default_catalogue().get(args.dataset).generate(random_state=args.seed)
+    retry, fallback = _parallel_options(args)
     session = GraphintSession(
-        dataset, random_state=args.seed, backend=args.backend, n_jobs=args.jobs
+        dataset,
+        random_state=args.seed,
+        backend=args.backend,
+        n_jobs=args.jobs,
+        retry=retry,
+        fallback=fallback,
     )
     benchmark_results = load_results(args.benchmark_file) if args.benchmark_file else None
     build_dashboard(session, benchmark_results=benchmark_results, output_path=args.output)
@@ -367,12 +424,15 @@ def _cmd_benchmark(args: argparse.Namespace) -> int:
     # A full config file carries its schema version; the campaign applies
     # field overrides only.
     config_overrides.pop("version", None)
+    retry, fallback = _parallel_options(args)
     runner = BenchmarkRunner(
         args.methods,
         n_runs=args.runs,
         random_state=args.seed,
         backend=args.backend,
         n_jobs=args.jobs,
+        retry=retry,
+        fallback=fallback,
         config_overrides=config_overrides or None,
     )
 
@@ -394,11 +454,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.viz.server import DashboardApplication, serve_application
 
     benchmark_results = load_results(args.benchmark_file) if args.benchmark_file else None
+    retry, fallback = _parallel_options(args)
     application = DashboardApplication(
         benchmark_results=benchmark_results,
         random_state=args.seed,
         backend=args.backend,
         n_jobs=args.jobs,
+        retry=retry,
+        fallback=fallback,
     )
     if args.registry is not None:
         from repro.serve import CombinedApplication, ModelRegistry, ServeApplication
@@ -432,12 +495,15 @@ def _cmd_export_model(args: argparse.Namespace) -> int:
     n_clusters = args.clusters
     if n_clusters is None:
         n_clusters = dataset.default_cluster_count()
+    retry, fallback = _parallel_options(args)
     model = KGraph(
         n_clusters,
         n_lengths=args.lengths,
         random_state=args.seed,
         backend=args.backend,
         n_jobs=args.jobs,
+        retry=retry,
+        fallback=fallback,
     ).fit(dataset.data)
     if args.registry is not None:
         record = ModelRegistry(args.registry).publish(
@@ -535,10 +601,13 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         print("--cache-budget requires --cache DIR", file=sys.stderr)
         return 2
 
+    retry, fallback = _parallel_options(args)
     model = KGraph.from_config(
         config,
         backend=args.backend,
         n_jobs=args.jobs,
+        retry=retry,
+        fallback=fallback,
         stage_backends=stage_backends or None,
         stage_cache=cache,
         fuse_stages=args.fuse,
@@ -552,12 +621,16 @@ def _cmd_pipeline_run(args: argparse.Namespace) -> int:
         ari = adjusted_rand_index(dataset.labels, model.labels_)
         print(f"ARI                : {ari:.3f}")
     print()
-    print(f"{'stage':<18} {'status':<8} {'seconds':>9} {'shipped':>10}  key")
+    print(
+        f"{'stage':<18} {'status':<8} {'seconds':>9} {'shipped':>10} "
+        f"{'att':>4} {'t/o':>4} {'rbld':>5}  key"
+    )
     for record in report.records:
         status = "cached" if record.cached else ("fused" if record.fused else "ran")
         print(
             f"{record.name:<18} {status:<8} {record.seconds:>9.4f} "
-            f"{record.bytes_shipped:>10}  {record.key[:12]}"
+            f"{record.bytes_shipped:>10} {record.attempts:>4} "
+            f"{record.timeouts:>4} {record.pool_rebuilds:>5}  {record.key[:12]}"
         )
     if cache is not None:
         stats = cache.stats()

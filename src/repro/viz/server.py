@@ -63,6 +63,8 @@ class DashboardApplication:
         n_lengths: int = 4,
         backend=None,
         n_jobs: Optional[int] = None,
+        retry=None,
+        fallback=None,
     ) -> None:
         self.catalogue = catalogue if catalogue is not None else default_catalogue()
         self.benchmark_results = list(benchmark_results) if benchmark_results else []
@@ -70,6 +72,8 @@ class DashboardApplication:
         self.n_lengths = int(n_lengths)
         self.backend = backend
         self.n_jobs = n_jobs
+        self.retry = retry
+        self.fallback = fallback
         self._sessions: Dict[str, GraphintSession] = {}
         self._lock = threading.Lock()
 
@@ -87,6 +91,8 @@ class DashboardApplication:
                     random_state=self.random_state,
                     backend=self.backend,
                     n_jobs=self.n_jobs,
+                    retry=self.retry,
+                    fallback=self.fallback,
                 )
                 session.fit()
                 session.build_quizzes()
@@ -215,6 +221,16 @@ class _Handler(BaseHTTPRequestHandler):
                 allow = json.loads(text)["error"]["allow"]
                 self.send_header("Allow", ", ".join(allow))
             except (json.JSONDecodeError, KeyError, TypeError):
+                pass
+        if status == 503:
+            # Same idiom for load shedding: when the application put a
+            # retry_after hint in the body, surface it as the Retry-After
+            # header (RFC 9110 allows delay-seconds) so well-behaved
+            # clients back off without parsing the JSON.
+            try:
+                retry_after = json.loads(text)["error"]["retry_after"]
+                self.send_header("Retry-After", str(int(retry_after)))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
                 pass
         self.end_headers()
         self.wfile.write(payload)

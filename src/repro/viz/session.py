@@ -26,7 +26,7 @@ from repro.interpret.representations import (
     graphoid_representation,
 )
 from repro.interpret.user_model import score_methods
-from repro.parallel import ExecutionBackend
+from repro.parallel import ExecutionBackend, RetryPolicy
 from repro.utils.containers import TimeSeriesDataset
 from repro.utils.normalization import znormalize_dataset
 from repro.utils.rng import SeedSequencePool
@@ -52,6 +52,11 @@ class GraphintSession:
         so the dashboard's k-Graph fit can use the parallel pipeline stages
         (see :mod:`repro.parallel`).  Serial by default; results are
         identical across backends for a fixed seed.
+    retry, fallback:
+        Fault-tolerance knobs forwarded to the k-Graph fit: an optional
+        :class:`~repro.parallel.RetryPolicy` and an optional degradation
+        chain (see :func:`repro.parallel.resolve_backend`).  Runtime-only,
+        never result-affecting.
     kgraph_config:
         Optional :class:`~repro.api.KGraphConfig` governing the k-Graph
         fit (the CLI's ``--config`` / ``--set`` plumbing).  When given it
@@ -68,6 +73,8 @@ class GraphintSession:
     random_state: Optional[int] = None
     backend: Union[None, str, ExecutionBackend] = None
     n_jobs: Optional[int] = None
+    retry: Optional["RetryPolicy"] = None
+    fallback: Union[None, str, ExecutionBackend, tuple] = None
     kgraph_config: Optional["KGraphConfig"] = None
 
     kgraph: KGraph = field(init=False)
@@ -108,7 +115,11 @@ class GraphintSession:
                 random_state=self._pool.next_seed(),
             )
             self.kgraph = KGraph.from_config(
-                config, backend=self.backend, n_jobs=self.n_jobs
+                config,
+                backend=self.backend,
+                n_jobs=self.n_jobs,
+                retry=self.retry,
+                fallback=self.fallback,
             )
         else:
             self.kgraph = KGraph(
@@ -117,6 +128,8 @@ class GraphintSession:
                 random_state=self._pool.next_seed(),
                 backend=self.backend,
                 n_jobs=self.n_jobs,
+                retry=self.retry,
+                fallback=self.fallback,
             )
         self.method_labels["kgraph"] = self.kgraph.fit_predict(data)
 

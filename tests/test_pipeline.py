@@ -241,6 +241,28 @@ class TestStageCaches:
         assert cache.get("key") is None
         assert cache.counters.misses == 1
 
+    def test_disk_corrupt_payload_is_quarantined(self, tmp_path):
+        from repro.pipeline.cache import CacheEntryMeta
+
+        cache = DiskStageCache(tmp_path)
+        cache.put("key", {"v": 1}, CacheEntryMeta(key="key", stage="s"))
+        (tmp_path / "key.pkl").write_bytes(b"not a pickle")
+        assert cache.get("key") is None
+        # The corrupt checkpoint is moved aside — not deleted (an operator
+        # may want to inspect it) and not left to poison future lookups.
+        assert not (tmp_path / "key.pkl").exists()
+        assert (tmp_path / "key.pkl.corrupt").exists()
+        assert not (tmp_path / "key.json").exists()
+        assert (tmp_path / "key.json.corrupt").exists()
+        assert cache.counters.quarantines == 1
+        assert cache.stats()["quarantines"] == 1
+        # Quarantined files are invisible to a fresh cache over the same
+        # directory, and a re-put of the same key works.
+        fresh = DiskStageCache(tmp_path)
+        assert fresh.get("key") is None
+        fresh.put("key", {"v": 2}, CacheEntryMeta(key="key", stage="s"))
+        assert fresh.get("key") == {"v": 2}
+
     def test_resolve_stage_cache(self, tmp_path):
         assert resolve_stage_cache(None) is None
         memory = MemoryStageCache()

@@ -252,3 +252,78 @@ class TestEndToEndHTTP:
             server.server_close()
             thread.join(timeout=5)
             app.close()
+
+
+class TestDegradation:
+    """Load shedding vs real faults: 503 + Retry-After vs 500."""
+
+    def test_engine_timeout_is_503_with_retry_after_hint(
+        self, fitted_kgraph, fresh_series, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(fitted_kgraph, "cbf")
+        # The request times out (1 ms) long before the micro-batch flushes
+        # (200 ms): the engine sheds load instead of faulting.
+        app = ServeApplication(registry, flush_interval=0.2, request_timeout=0.001)
+        try:
+            request = json.dumps({"series": fresh_series[0].tolist()}).encode()
+            status, _, body = app.handle_request("POST", "/predict", request)
+            assert status == 503
+            error = _json(body)["error"]
+            assert "retry_after" in error
+            assert error["retry_after"] >= 1
+        finally:
+            app.close()
+
+    def test_retry_after_surfaces_as_http_header(
+        self, fitted_kgraph, fresh_series, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(fitted_kgraph, "cbf")
+        app = ServeApplication(registry, flush_interval=0.2, request_timeout=0.001)
+        server = serve_models(app, host="127.0.0.1", port=0, poll=False)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            base = f"http://127.0.0.1:{server.server_address[1]}"
+            request = urllib.request.Request(
+                f"{base}/predict",
+                data=json.dumps({"series": fresh_series[0].tolist()}).encode(),
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] is not None
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            app.close()
+
+    def test_engine_fault_is_500_without_retry_after(self, fitted_kgraph, fresh_series, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        record = registry.publish(fitted_kgraph, "cbf")
+        app = ServeApplication(registry, flush_interval=0.001)
+        try:
+            # Corrupt the artifact after publication: loading it inside the
+            # engine is a real fault, not load shedding.
+            (record.path / "arrays.npz").write_bytes(b"not an npz")
+            request = json.dumps({"series": fresh_series[0].tolist()}).encode()
+            status, _, body = app.handle_request("POST", "/predict", request)
+            assert status == 500
+            assert "retry_after" not in _json(body)["error"]
+        finally:
+            app.close()
+
+    def test_closed_application_stays_503(self, fitted_kgraph, tmp_path):
+        # The taxonomy change must not reclassify the generic "closed"
+        # ServiceError: still 503 (the PR 6 contract).
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(fitted_kgraph, "cbf")
+        app = ServeApplication(registry, flush_interval=0.001)
+        app.close()
+        request = json.dumps({"series": [0.0] * 64}).encode()
+        status, _, body = app.handle_request("POST", "/predict", request)
+        assert status == 503
