@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Distributed execution smoke check (CI).
+
+Starts two real ``graphint worker`` services on loopback, then verifies the
+coordinator invariants end-to-end over HTTP:
+
+1. **Wire round trip**: a fan-out over the worker pool returns ordered,
+   bit-identical results (including captured exception types).
+2. **Data plane**: an array-heavy fan-out with a shared
+   :class:`~repro.distributed.StageDataPlane` ships >=10x fewer coordinator
+   bytes than the same fan-out without one, with identical results.
+3. **Sharded grid + SIGKILL**: a k-Graph estimator grid sharded over both
+   workers survives one worker being SIGKILLed mid-sweep and matches the
+   serial grid bit-identically (the acceptance scenario).
+4. **Fallback demotion**: a chain whose distributed member is unreachable
+   demotes to serial and still returns correct results.
+
+Exit status: 0 when every invariant holds, 1 otherwise.  The full matrix
+lives in ``tests/test_distributed.py`` and ``tests/test_distributed_chaos.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/distributed_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+_ANNOUNCE = re.compile(r"http://([\d.]+):(\d+) \(pid (\d+)\)")
+
+
+def _check(condition: bool, message: str, failures: list) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        failures.append(message)
+
+
+def _spawn_worker(data_plane: str):
+    env = os.environ.copy()
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.viz.cli",
+            "worker",
+            "--port",
+            "0",
+            "--data-plane",
+            data_plane,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 120
+    lines = []
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = _ANNOUNCE.search(line)
+        if match:
+            return process, f"{match.group(1)}:{match.group(2)}", int(match.group(3))
+    process.kill()
+    raise RuntimeError(f"worker never announced itself: {''.join(lines)!r}")
+
+
+def _roundtrip_phase(urls, failures: list) -> None:
+    from repro.distributed import DistributedBackend
+    from repro.distributed.functions import checked_sqrt, square
+    from repro.exceptions import ValidationError
+    from repro.parallel import SerialBackend
+
+    print("wire round trip (ordered results + exception types)")
+    jobs = [float(value) for value in range(10)]
+    with DistributedBackend(urls) as backend:
+        outcomes = backend.map_jobs(square, jobs)
+        shipped = backend.bytes_shipped
+        errored = backend.map_jobs(checked_sqrt, [4.0, -1.0])
+    serial = SerialBackend().map_jobs(square, jobs)
+    _check(
+        [outcome.value for outcome in outcomes]
+        == [outcome.value for outcome in serial],
+        "10 results ordered and bit-identical to serial",
+        failures,
+    )
+    _check(shipped > 0, f"coordinator accounted its payloads ({shipped} B)", failures)
+    _check(
+        errored[0].value == 2.0
+        and isinstance(errored[1].exception, ValidationError),
+        "a remote ValidationError reconstructs as its own class",
+        failures,
+    )
+
+
+def _data_plane_phase(urls, plane_dir: str, failures: list) -> None:
+    from repro.distributed import DistributedBackend, StageDataPlane
+    from repro.distributed.functions import scale_array
+
+    print("stage-cache data plane (fingerprints instead of arrays)")
+    rng = np.random.default_rng(0)
+    jobs = [(rng.standard_normal((512, 128)), float(i + 1)) for i in range(4)]
+    with DistributedBackend(urls) as plain:
+        baseline = plain.map_jobs(scale_array, jobs)
+        bytes_no_plane = plain.bytes_shipped
+    plane = StageDataPlane(plane_dir, min_bytes=16 * 1024)
+    with DistributedBackend(urls, data_plane=plane) as planed:
+        offloaded = planed.map_jobs(scale_array, jobs)
+        bytes_plane = planed.bytes_shipped
+    identical = all(
+        np.array_equal(lhs.value, rhs.value)
+        for lhs, rhs in zip(baseline, offloaded)
+    )
+    ratio = bytes_no_plane / max(bytes_plane, 1)
+    _check(identical, "plane-resolved results bit-identical", failures)
+    _check(
+        ratio >= 10,
+        f"data plane collapsed coordinator bytes {ratio:.0f}x "
+        f"({bytes_no_plane} B -> {bytes_plane} B)",
+        failures,
+    )
+    _check(
+        plane.bytes_offloaded > 0,
+        f"arrays travelled as refs ({plane.arrays_stashed} stashed, "
+        f"{plane.arrays_deduplicated} deduplicated)",
+        failures,
+    )
+
+
+def _grid_comparable(result) -> dict:
+    # Wall-clock and per-process cache-hit counts legitimately differ
+    # across execution topologies; everything else must match exactly.
+    row = result.to_dict()
+    row.pop("runtime_seconds", None)
+    for measure in ("stages_cached", "stages_executed"):
+        row.pop(measure, None)
+    return row
+
+
+def _grid_phase(urls, victim_pid: int, failures: list) -> None:
+    from repro.benchmark.runner import BenchmarkRunner
+    from repro.datasets.synthetic import make_cylinder_bell_funnel
+    from repro.parallel import RetryPolicy
+
+    print("sharded estimator grid + SIGKILL of one worker (acceptance)")
+    dataset = make_cylinder_bell_funnel(
+        n_series=12, length=64, noise=0.2, random_state=3
+    )
+    grid = {"n_lengths": [2, 3], "n_sectors": [8, 10]}
+    base = {"n_clusters": 3}
+
+    serial = BenchmarkRunner(["kgraph"]).run_estimator_grid(
+        dataset, "kgraph", grid, base=base, random_state=7
+    )
+
+    killed = {"done": False}
+
+    def _kill_one(method, dataset_name, result) -> None:
+        if not killed["done"]:
+            killed["done"] = True
+            os.kill(victim_pid, signal.SIGKILL)
+
+    runner = BenchmarkRunner(
+        ["kgraph"],
+        backend="distributed:" + ",".join(urls),
+        retry=RetryPolicy(max_attempts=3, max_pool_rebuilds=2),
+    )
+    start = time.monotonic()
+    sharded = runner.run_estimator_grid(
+        dataset, "kgraph", grid, base=base, random_state=7, progress=_kill_one
+    )
+    elapsed = time.monotonic() - start
+    _check(killed["done"], "one worker was SIGKILLed mid-sweep", failures)
+    _check(
+        not any(result.failed for result in sharded),
+        "every combination completed despite the kill",
+        failures,
+    )
+    _check(
+        [_grid_comparable(result) for result in sharded]
+        == [_grid_comparable(result) for result in serial],
+        f"all {len(serial)} sharded results bit-identical to serial",
+        failures,
+    )
+    _check(elapsed < 300.0, f"grid finished within budget ({elapsed:.1f} s)", failures)
+
+
+def _fallback_phase(failures: list) -> None:
+    from repro.distributed import DistributedBackend
+    from repro.distributed.functions import square
+    from repro.parallel import RetryPolicy, resolve_backend
+
+    print("fallback demotion (unreachable pool -> serial)")
+    chain = resolve_backend(
+        DistributedBackend(
+            ["127.0.0.1:9"], probe_timeout=0.2, request_timeout=0.5
+        ),
+        fallback="serial",
+    )
+    try:
+        outcomes = chain.map_jobs(
+            square,
+            [float(value) for value in range(4)],
+            retry=RetryPolicy(max_attempts=2, max_pool_rebuilds=0),
+        )
+        _check(
+            len(chain.demotions) == 1,
+            f"the chain demoted ({chain.demotions})",
+            failures,
+        )
+        _check(
+            [outcome.value for outcome in outcomes] == [0.0, 1.0, 4.0, 9.0],
+            "the demoted re-run returned every result",
+            failures,
+        )
+    finally:
+        chain.close()
+
+
+def main(argv=None) -> int:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    failures: list = []
+    plane_dir = tempfile.mkdtemp(prefix="repro-distributed-smoke-")
+    print("starting 2 loopback graphint workers")
+    first, first_url, first_pid = _spawn_worker(plane_dir)
+    second, second_url, second_pid = _spawn_worker(plane_dir)
+    print(f"  workers: {first_url} (pid {first_pid}), {second_url} (pid {second_pid})")
+    try:
+        urls = [first_url, second_url]
+        _roundtrip_phase(urls, failures)
+        _data_plane_phase(urls, plane_dir, failures)
+        _grid_phase(urls, first_pid, failures)
+        _fallback_phase(failures)
+    finally:
+        for process in (first, second):
+            if process.poll() is None:
+                process.terminate()
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=15)
+            process.stdout.close()
+    if failures:
+        print(
+            f"\ndistributed smoke FAILED ({len(failures)} check(s)):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(
+        "\ndistributed smoke passed: the worker pool round-trips, offloads, "
+        "survives a SIGKILL and demotes cleanly."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -185,6 +185,113 @@ def _execute_campaign_job(job: _CampaignJob) -> BenchmarkResult:
     )
 
 
+def _combo_label(spec_name: str, combo: Dict[str, object]) -> str:
+    """The result label of one grid combination, e.g. ``kgraph[k=3]``."""
+    label = spec_name
+    if combo:
+        label += "[" + ",".join(
+            f"{key}={combo[key]}" for key in sorted(combo)
+        ) + "]"
+    return label
+
+
+def _grid_params(
+    spec_name: str,
+    dataset: TimeSeriesDataset,
+    base_fields: Dict[str, object],
+    combo: Dict[str, object],
+    random_state,
+) -> Dict[str, object]:
+    """One combination's full config parameters (shared defaulting).
+
+    ``n_clusters`` falls back to the dataset's class count and the seed to
+    the shared ``random_state`` whenever neither base nor combo pins them —
+    a base *config* carries ``random_state=None`` for "unset", which must
+    not mean fresh entropy here (a shared seed is what makes stage
+    checkpoints hit across the grid).  The estimator identity is never
+    rebindable through a grid.  Module-level so the serial sweep and the
+    sharded (distributed) path agree bit-for-bit.
+    """
+    params = dict(base_fields)
+    params.update(combo)
+    if params.get("method") not in (None, spec_name):
+        raise BenchmarkError(
+            f"a grid for estimator {spec_name!r} cannot rebind "
+            f"'method' to {params['method']!r}; sweep the other "
+            "estimator by name instead"
+        )
+    if params.get("n_clusters") is None:
+        params["n_clusters"] = dataset.default_cluster_count()
+    if params.get("random_state") is None:
+        params["random_state"] = random_state
+    return params
+
+
+@dataclass(frozen=True)
+class _GridJob:
+    """One self-contained grid combination for sharded dispatch.
+
+    Carries the materialised dataset and every config ingredient, so a
+    worker (local or remote) rebuilds the exact combination the serial
+    sweep would run — including its shared seed — without any coordinator
+    state.  A bad combination fails inside its own job, preserving the
+    per-combination error isolation of the serial path.
+    """
+
+    estimator: str
+    dataset: TimeSeriesDataset
+    base_fields: Dict[str, object]
+    combo: Dict[str, object]
+    random_state: int
+    stage_cache_dir: Optional[str] = None
+    cache_budget: Optional[int] = None
+    cache_policy: str = "lru"
+
+
+def _execute_grid_combo(job: _GridJob) -> BenchmarkResult:
+    """Run one grid combination end to end (picklable, registered)."""
+    from repro.api.registry import default_registry
+
+    spec = default_registry().get(job.estimator)
+    dataset = job.dataset
+    result = BenchmarkResult(
+        method=_combo_label(spec.name, job.combo),
+        family=spec.family,
+        dataset=dataset.name,
+        dataset_type=dataset.dataset_type,
+        n_series=dataset.n_series,
+        length=dataset.length,
+        n_classes=dataset.n_classes,
+    )
+    start = time.perf_counter()
+    try:
+        params = _grid_params(
+            spec.name, dataset, job.base_fields, job.combo, job.random_state
+        )
+        cache = None
+        if spec.name == "kgraph" and job.stage_cache_dir is not None:
+            from repro.pipeline import resolve_stage_cache
+
+            cache = resolve_stage_cache(
+                job.stage_cache_dir,
+                budget_bytes=job.cache_budget,
+                policy=job.cache_policy,
+            )
+        estimator = spec.build(spec.make_config(**params), stage_cache=cache)
+        labels = estimator.fit_predict(dataset.data)
+        result.runtime_seconds = time.perf_counter() - start
+        if dataset.labels is not None:
+            result.measures = clustering_report(dataset.labels, labels)
+        report = getattr(estimator, "pipeline_report_", None)
+        if report is not None:
+            result.measures["stages_cached"] = float(len(report.cached))
+            result.measures["stages_executed"] = float(len(report.executed))
+    except Exception as exc:  # noqa: BLE001 - one bad combo must not stop the sweep
+        result.runtime_seconds = time.perf_counter() - start
+        result.error = f"{type(exc).__name__}: {exc}"
+    return result
+
+
 ProgressCallback = Callable[[str, str, BenchmarkResult], None]
 
 
@@ -382,6 +489,7 @@ class BenchmarkRunner:
         cache_policy: str = "lru",
         random_state=0,
         progress: Optional[ProgressCallback] = None,
+        shard: Optional[bool] = None,
     ) -> List[BenchmarkResult]:
         """Sweep one registered estimator's config grid on one dataset.
 
@@ -423,6 +531,18 @@ class BenchmarkRunner:
             upstream checkpoints hit across the grid.
         progress:
             Optional ``(method, dataset, result)`` callback per combination.
+        shard:
+            Dispatch each combination as one job through the runner's
+            backend instead of the serial in-process loop.  ``None``
+            (default) auto-enables sharding when the backend is
+            distributed (a ``"distributed:..."`` spec or a
+            ``DistributedBackend``); ``True`` forces it through any
+            backend, ``False`` keeps the serial sweep.  Combinations carry
+            the shared seed, so sharded results are bit-identical to the
+            serial sweep (``runtime_seconds`` and the ``stages_cached`` /
+            ``stages_executed`` accounting may differ — workers do not
+            share an in-memory stage cache; pass a directory
+            ``stage_cache`` to share checkpoints through the filesystem).
 
         Returns one :class:`BenchmarkResult` per combination, in grid
         order; for k-Graph, ``measures["stages_cached"]`` /
@@ -452,28 +572,8 @@ class BenchmarkRunner:
             base_fields = dict(base)
 
         def _combo_params(combo: Dict[str, object]) -> Dict[str, object]:
-            """One combination's full config parameters (shared defaulting).
-
-            ``n_clusters`` falls back to the dataset's class count and the
-            seed to the shared ``random_state`` whenever neither base nor
-            combo pins them — a base *config* carries ``random_state=None``
-            for "unset", which must not mean fresh entropy here (a shared
-            seed is what makes stage checkpoints hit across the grid).
-            The estimator identity is never rebindable through a grid.
-            """
-            params = dict(base_fields)
-            params.update(combo)
-            if params.get("method") not in (None, spec.name):
-                raise BenchmarkError(
-                    f"a grid for estimator {spec.name!r} cannot rebind "
-                    f"'method' to {params['method']!r}; sweep the other "
-                    "estimator by name instead"
-                )
-            if params.get("n_clusters") is None:
-                params["n_clusters"] = dataset.default_cluster_count()
-            if params.get("random_state") is None:
-                params["random_state"] = random_state
-            return params
+            """One combination's parameters (see :func:`_grid_params`)."""
+            return _grid_params(spec.name, dataset, base_fields, combo, random_state)
 
         if isinstance(grid, Mapping):
             # Dict-of-lists grids are declarative: expand through the shared
@@ -490,6 +590,31 @@ class BenchmarkRunner:
                 f"run_estimator_grid needs at least one combination for {spec.name!r}"
             )
 
+        if shard is None:
+            # Auto-shard when the backend is distributed: a grid swept
+            # in-process would leave the worker pool idle.
+            shard = (
+                isinstance(self.backend, str)
+                and self.backend.strip().startswith("distributed")
+            ) or getattr(self.backend, "name", None) in ("distributed", "fallback")
+            if getattr(self.backend, "name", None) == "fallback":
+                shard = (
+                    getattr(getattr(self.backend, "active", None), "name", None)
+                    == "distributed"
+                )
+        if shard:
+            return self._run_grid_sharded(
+                spec,
+                dataset,
+                combos,
+                base_fields=base_fields,
+                stage_cache=stage_cache,
+                cache_budget=cache_budget,
+                cache_policy=cache_policy,
+                random_state=random_state,
+                progress=progress,
+            )
+
         cache = None
         if is_kgraph:
             from repro.pipeline import MemoryStageCache, resolve_stage_cache
@@ -502,11 +627,7 @@ class BenchmarkRunner:
 
         results: List[BenchmarkResult] = []
         for combo in combos:
-            label = spec.name
-            if combo:
-                label += "[" + ",".join(
-                    f"{key}={combo[key]}" for key in sorted(combo)
-                ) + "]"
+            label = _combo_label(spec.name, combo)
             result = BenchmarkResult(
                 method=label,
                 family=spec.family,
@@ -539,6 +660,105 @@ class BenchmarkRunner:
                 progress(label, dataset.name, result)
             results.append(result)
         return results
+
+    def _run_grid_sharded(
+        self,
+        spec,
+        dataset: TimeSeriesDataset,
+        combos: List[Dict[str, object]],
+        *,
+        base_fields: Dict[str, object],
+        stage_cache,
+        cache_budget: Optional[int],
+        cache_policy: str,
+        random_state,
+        progress: Optional[ProgressCallback],
+    ) -> List[BenchmarkResult]:
+        """Dispatch one :func:`_execute_grid_combo` job per combination.
+
+        Workers cannot reach an in-memory stage cache, so sharding accepts
+        only a directory path (shared through the filesystem) or no cache
+        at all; each job is self-contained and a killed worker's
+        combinations are recovered by the backend's quarantine/bisection
+        machinery — results stay bit-identical to the serial sweep.
+        """
+        from pathlib import Path as _Path
+
+        from repro.pipeline.cache import StageCache
+
+        if isinstance(stage_cache, StageCache):
+            raise BenchmarkError(
+                "a sharded grid cannot share an in-memory StageCache "
+                "instance across workers; pass a cache directory path "
+                "instead (workers share checkpoints through the filesystem)"
+            )
+        cache_dir = (
+            str(stage_cache)
+            if spec.name == "kgraph"
+            and isinstance(stage_cache, (str, _Path))
+            else None
+        )
+        jobs = [
+            _GridJob(
+                estimator=spec.name,
+                dataset=dataset,
+                base_fields=dict(base_fields),
+                combo=dict(combo),
+                random_state=random_state,
+                stage_cache_dir=cache_dir,
+                cache_budget=cache_budget,
+                cache_policy=cache_policy,
+            )
+            for combo in combos
+        ]
+
+        converted: Dict[int, BenchmarkResult] = {}
+
+        def _result_for(outcome) -> BenchmarkResult:
+            if outcome.index not in converted:
+                if outcome.ok:
+                    converted.setdefault(outcome.index, outcome.value)
+                else:
+                    job = jobs[outcome.index]
+                    converted.setdefault(
+                        outcome.index,
+                        BenchmarkResult(
+                            method=_combo_label(spec.name, job.combo),
+                            family=spec.family,
+                            dataset=dataset.name,
+                            dataset_type=dataset.dataset_type,
+                            n_series=dataset.n_series,
+                            length=dataset.length,
+                            n_classes=dataset.n_classes,
+                            error=outcome.error,
+                        ),
+                    )
+            return converted[outcome.index]
+
+        on_result = None
+        if progress is not None:
+            def on_result(outcome) -> None:
+                result = _result_for(outcome)
+                progress(result.method, dataset.name, result)
+
+        with backend_scope(
+            self.backend, self.n_jobs, retry=self.retry, fallback=self.fallback
+        ) as backend:
+            if self.retry is not None:
+                outcomes = backend.map_jobs(
+                    _execute_grid_combo, jobs, on_result=on_result, retry=self.retry
+                )
+            else:
+                outcomes = backend.map_jobs(
+                    _execute_grid_combo, jobs, on_result=on_result
+                )
+        by_index = {outcome.index: outcome for outcome in outcomes}
+        if sorted(by_index) != list(range(len(jobs))):
+            raise BenchmarkError(
+                f"execution backend returned outcomes for {sorted(by_index)} "
+                f"but the grid submitted {len(jobs)} jobs"
+            )
+        return [_result_for(by_index[index]) for index in range(len(jobs))]
 
     def run_kgraph_grid(
         self,
@@ -604,3 +824,13 @@ def run_benchmark(
     """Convenience one-call benchmark campaign."""
     runner = BenchmarkRunner(methods, n_runs=n_runs, random_state=random_state)
     return runner.run(dataset_names)
+
+
+# Register the campaign/grid job functions for distributed dispatch:
+# `BenchmarkRunner.run` and sharded `run_estimator_grid` fan these out
+# through whatever backend the runner was given, including a pool of
+# `graphint worker` services (see repro.distributed.registry).
+from repro.distributed.registry import register_worker_function  # noqa: E402
+
+register_worker_function(_execute_campaign_job)
+register_worker_function(_execute_grid_combo)

@@ -136,3 +136,10 @@ def select_optimal_length(scores: Sequence[LengthScore]) -> int:
         ordered = sorted(scores, key=lambda s: (-s.interpretability, s.length))
         best = ordered[0]
     return int(best.length)
+
+
+# Registered so distributed workers can score lengths by name (see
+# repro.distributed.registry).
+from repro.distributed.registry import register_worker_function  # noqa: E402
+
+register_worker_function(_score_one_length)

@@ -1089,3 +1089,10 @@ class KGraph:
                 },
             }
         return statistics
+
+
+# Registered so distributed workers can run per-length fits by name (see
+# repro.distributed.registry).
+from repro.distributed.registry import register_worker_function  # noqa: E402
+
+register_worker_function(_fit_one_length)

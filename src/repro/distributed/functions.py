@@ -1,0 +1,60 @@
+"""Built-in worker functions: diagnostics, smoke tests and benchmarks.
+
+Tiny, dependency-free job functions every worker resolves out of the box.
+They exist so a fresh deployment can be exercised end-to-end (``echo`` a
+payload through the pool, ``sum_abs`` a shipped array, measure transfer
+with ``scale_array``) before any real workload is registered, and so the
+test-suite/benchmark workers need no side-channel module injection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.distributed.registry import register_worker_function
+from repro.exceptions import ValidationError
+
+
+@register_worker_function
+def echo(job: Any) -> Any:
+    """Return the job payload unchanged (round-trip/codec diagnostic)."""
+    return job
+
+
+@register_worker_function
+def square(value: float) -> float:
+    """Square one number."""
+    return float(value) ** 2
+
+
+@register_worker_function
+def checked_sqrt(value: float) -> float:
+    """Square root that rejects negatives (per-job error-capture probe)."""
+    value = float(value)
+    if value < 0:
+        raise ValidationError(f"checked_sqrt needs a non-negative value, got {value}")
+    return float(np.sqrt(value))
+
+
+@register_worker_function
+def sum_abs(array: np.ndarray) -> float:
+    """Sum of absolute values of a shipped array (transfer diagnostic)."""
+    return float(np.abs(np.asarray(array)).sum())
+
+
+@register_worker_function
+def scale_array(job: Tuple[np.ndarray, float]) -> np.ndarray:
+    """Return ``array * factor`` — a large-result transfer diagnostic."""
+    array, factor = job
+    return np.asarray(array) * float(factor)
+
+
+@register_worker_function
+def sleep_echo(job: Tuple[float, Any]) -> Any:
+    """Sleep ``seconds`` then return ``value`` (timeout/deadline probe)."""
+    seconds, value = job
+    time.sleep(float(seconds))
+    return value

@@ -618,3 +618,10 @@ def pairwise_distances_reference(
                 value = value[0]
             matrix[i, j] = matrix[j, i] = value
     return matrix
+
+
+# Registered so distributed workers can compute pairwise strips by name
+# (see repro.distributed.registry).
+from repro.distributed.registry import register_worker_function  # noqa: E402
+
+register_worker_function(_pairwise_strip)

@@ -27,6 +27,11 @@ Three backends ship today:
   fan-out, identity-deduplicated across jobs) instead of re-pickling the
   dataset per job, and ships large *result* arrays back through worker-
   written segments too; select with ``backend="shared"``.
+* :class:`~repro.distributed.DistributedBackend` — fans out over a pool of
+  ``graphint worker`` HTTP services; select with
+  ``backend="distributed:HOST:PORT[,HOST:PORT...][@PLANE_DIR]"`` (see
+  :mod:`repro.distributed`; outcomes travel through the JSON wire codec of
+  :mod:`repro.parallel.wire`).
 
 Every user-facing entry point threads the same two keywords down to
 :func:`resolve_backend`::
@@ -69,7 +74,12 @@ from repro.parallel.backends import (
     pickled_nbytes,
     resolve_backend,
 )
-from repro.parallel.chaos import ChaosBackend, ChaosError, ChaosPlan
+from repro.parallel.chaos import (
+    ChaosBackend,
+    ChaosDroppedResult,
+    ChaosError,
+    ChaosPlan,
+)
 from repro.parallel.retry import (
     DEFAULT_MAX_POOL_REBUILDS,
     JobTimeoutError,
@@ -84,9 +94,11 @@ from repro.parallel.shared import (
     publish_result_arrays,
     substitute_shared_arrays,
 )
+from repro.parallel.wire import RemoteJobError
 
 __all__ = [
     "ChaosBackend",
+    "ChaosDroppedResult",
     "ChaosError",
     "ChaosPlan",
     "DEFAULT_MAX_POOL_REBUILDS",
@@ -95,6 +107,7 @@ __all__ = [
     "JobOutcome",
     "JobTimeoutError",
     "ProcessBackend",
+    "RemoteJobError",
     "RetryPolicy",
     "SerialBackend",
     "SharedArrayPlan",

@@ -139,6 +139,27 @@ class JobOutcome:
             raise self.exception
         raise ParallelExecutionError(f"job {self.index} failed: {self.error}")
 
+    def to_payload(self) -> Dict[str, Any]:
+        """Encode this outcome as a JSON-serialisable, binary-safe payload.
+
+        ndarray values travel base64-encoded with dtype/shape (bit-identical
+        round-trip), captured exceptions travel as ``{"type", "message"}``
+        and reconstruct as the same class when it is allowlisted (see
+        :mod:`repro.parallel.wire`), and the fault-tolerance fields
+        (``attempts`` / ``retried`` / ``timed_out``) survive verbatim — the
+        distributed worker protocol is built on exactly this round-trip.
+        """
+        from repro.parallel import wire
+
+        return wire.encode_outcome(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "JobOutcome":
+        """Inverse of :meth:`to_payload`."""
+        from repro.parallel import wire
+
+        return wire.decode_outcome(payload)
+
 
 def pickled_nbytes(obj: Any) -> int:
     """Bytes ``obj`` occupies on the wire when shipped to a process pool.
@@ -1041,6 +1062,10 @@ def resolve_backend(
       backend class (``n_jobs`` sets its worker count; ``"serial"`` ignores
       it; ``"shared"`` is a process pool with zero-copy shared-memory
       dataset plans, see :class:`repro.parallel.shared.SharedMemoryBackend`);
+    * ``"distributed:HOST:PORT[,HOST:PORT...][@PLANE_DIR]"`` builds a
+      :class:`repro.distributed.DistributedBackend` over that worker pool
+      (``@PLANE_DIR`` enables the shared stage-cache data plane; ``n_jobs``
+      is ignored — the worker pool *is* the parallelism);
     * ``backend=None`` with ``n_jobs`` > 1 selects :class:`ThreadBackend`;
     * everything else (the default) is :class:`SerialBackend`.
 
@@ -1098,9 +1123,19 @@ def resolve_backend(
         return resolved
     if isinstance(backend, str):
         key = backend.strip().lower()
+        if key == "distributed" or key.startswith("distributed:"):
+            # Imported lazily: repro.distributed builds on this module.
+            from repro.distributed.backend import DistributedBackend
+
+            resolved = DistributedBackend.from_spec(backend.strip())
+            if retry is not None:
+                resolved.retry = retry
+            return resolved
         if key not in _BACKENDS:
             raise ValidationError(
-                f"unknown backend {backend!r}; available: {sorted(set(_BACKENDS))}"
+                f"unknown backend {backend!r}; available: "
+                f"{sorted(set(_BACKENDS))} or "
+                "'distributed:HOST:PORT[,HOST:PORT...][@PLANE_DIR]'"
             )
         cls = _BACKENDS[key]
         if not isinstance(cls, type):

@@ -15,13 +15,17 @@ Fault kinds:
 * ``hang`` — the job sleeps ``hang_seconds`` (a stand-in for "forever":
   long enough that only a timeout watchdog ends the attempt);
 * ``kill`` — the job calls ``os._exit`` inside its worker **process**,
-  breaking the pool (downgraded to ``raise`` when the job is not running
-  in a worker process, so a serial/thread backend — e.g. after a fallback
-  demotion — is never killed);
+  breaking the pool; in a distributed worker *service* (which marks itself
+  via :data:`WORKER_PROCESS_ENV`) the whole service dies mid-request, the
+  same signal as a SIGKILLed machine (downgraded to ``raise`` when the job
+  is not running in any worker process, so a serial/thread backend — e.g.
+  after a fallback demotion — is never killed);
 * ``drop_result`` — the job returns a dangling shared-memory result
   reference, so the coordinator's resolution fails exactly like a vanished
-  ``/dev/shm`` segment (downgraded to ``raise`` when the inner backend
-  does not resolve result segments).
+  ``/dev/shm`` segment; on other backends it raises
+  :class:`ChaosDroppedResult`, which a distributed worker recognises and
+  answers 200 with the outcome *omitted* — a result lost in flight
+  (a plain retryable failure anywhere else).
 
 Each fault fires on the **first attempt only** (exactly-once arming via
 ``O_CREAT | O_EXCL`` token files, which works across process boundaries),
@@ -51,6 +55,17 @@ from repro.parallel.retry import RetryPolicy
 
 class ChaosError(ParallelExecutionError):
     """The failure raised by an injected ``raise`` fault."""
+
+
+class ChaosDroppedResult(ChaosError):
+    """The failure raised by a ``drop_result`` fault outside shared memory.
+
+    A distinct subclass so the distributed worker service can recognise it
+    and *omit* the job's outcome from its HTTP response entirely — the
+    coordinator then sees a 200 with a missing result, exactly the
+    lost-in-flight shape the fault models.  For local backends it behaves
+    like any other retryable :class:`ChaosError`.
+    """
 
 
 #: Dispatch priority when one index appears in several fault sets.
@@ -160,8 +175,22 @@ def _arm(token: Optional[str]) -> bool:
     return True
 
 
+#: Environment flag a distributed worker *service* process sets on startup
+#: (see ``graphint worker``): the process is sacrificial, so a ``kill``
+#: fault may ``os._exit`` it even though it is not a multiprocessing child.
+WORKER_PROCESS_ENV = "REPRO_WORKER_PROCESS"
+
+
 def _in_worker_process() -> bool:
-    """Whether the current process is a multiprocessing child."""
+    """Whether the current process may be killed by a ``kill`` fault.
+
+    True for multiprocessing children (process-pool workers) and for
+    processes that declared themselves sacrificial via
+    :data:`WORKER_PROCESS_ENV` (distributed worker services, which are
+    plain top-level processes, not multiprocessing children).
+    """
+    if os.environ.get(WORKER_PROCESS_ENV) == "1":
+        return True
     try:
         import multiprocessing
 
@@ -221,7 +250,9 @@ class _ChaosRunner:
                     # coordinator's resolution fails exactly like a
                     # vanished /dev/shm segment.
                     return _SharedResultRef("repro-chaos-dropped", (1,), "<f8")
-                raise ChaosError("injected result drop (no shared results)")
+                # Recognisable by the distributed worker service, which
+                # omits the outcome from its response instead of failing it.
+                raise ChaosDroppedResult("injected result drop (no shared results)")
         return self.fn(wrapped.job)
 
 

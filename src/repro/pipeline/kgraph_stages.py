@@ -466,3 +466,14 @@ def build_kgraph_pipeline() -> Pipeline:
         ],
         seed_inputs=KGRAPH_SEED_INPUTS,
     )
+
+
+# Register this module's fan-out job functions for distributed dispatch:
+# workers resolve them by name, so a `--backend distributed:...` pipeline
+# run needs no side-channel code shipping.
+from repro.distributed.registry import register_worker_function  # noqa: E402
+
+register_worker_function(_embed_one_length)
+register_worker_function(_cluster_one_graph)
+register_worker_function(_embed_and_cluster_one_length)
+register_worker_function(_extract_cluster_graphoids)

@@ -75,6 +75,12 @@ class PipelineContext:
         Per-stage fault-tolerance counters (stage name -> ``{"attempts",
         "timeouts", "pool_rebuilds"}``), snapshotted from the backend's
         cumulative counters by :meth:`dispatch` like ``bytes_shipped``.
+    plane_bytes:
+        Per-stage bytes the distributed data plane kept *out* of job
+        payloads (stage name -> bytes offloaded as fingerprint refs),
+        snapshotted from the backend's
+        :class:`~repro.distributed.stagecache.StageDataPlane` when one is
+        attached.  Empty for every non-distributed backend.
     """
 
     config: Dict[str, object] = field(default_factory=dict)
@@ -85,6 +91,7 @@ class PipelineContext:
     bytes_shipped: Dict[str, int] = field(default_factory=dict)
     retry: Optional[RetryPolicy] = None
     fault_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    plane_bytes: Dict[str, int] = field(default_factory=dict)
 
     def backend_for(self, stage_name: str) -> ExecutionBackend:
         """The backend a stage's fan-out must dispatch through."""
@@ -101,6 +108,10 @@ class PipelineContext:
         """
         backend = self.backend_for(stage_name)
         before = getattr(backend, "bytes_shipped", None)
+        plane = getattr(backend, "data_plane", None)
+        plane_before = (
+            int(plane.bytes_offloaded) if plane is not None else None
+        )
         counters_before = {
             name: int(getattr(backend, name, 0)) for name in _FAULT_COUNTERS
         }
@@ -116,6 +127,11 @@ class PipelineContext:
             delta = int(backend.bytes_shipped) - int(before)
             self.bytes_shipped[stage_name] = (
                 self.bytes_shipped.get(stage_name, 0) + delta
+            )
+        if plane_before is not None:
+            plane_delta = int(plane.bytes_offloaded) - plane_before
+            self.plane_bytes[stage_name] = (
+                self.plane_bytes.get(stage_name, 0) + plane_delta
             )
         stats = self.fault_stats.setdefault(
             stage_name, {name: 0 for name in _FAULT_COUNTERS}

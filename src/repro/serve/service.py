@@ -399,6 +399,13 @@ def serve_models(
     host: str = "127.0.0.1",
     port: int = 8060,
     poll: bool = True,
+    ready=None,
 ):
-    """Start the model-serving HTTP server (dashboard plumbing underneath)."""
-    return serve_application(application, host=host, port=port, poll=poll)
+    """Start the model-serving HTTP server (dashboard plumbing underneath).
+
+    ``port=0`` binds an ephemeral port; pass ``ready`` to receive the
+    configured server (and its ``server_port``) before serving begins.
+    """
+    return serve_application(
+        application, host=host, port=port, poll=poll, ready=ready
+    )

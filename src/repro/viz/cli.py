@@ -9,6 +9,10 @@ Sub-commands:
 * ``graphint serve --port 8050``              — start the interactive server
   (add ``--registry DIR`` to mount the model-serving JSON API on the same
   port: ``POST /predict``, ``GET /models``, ``GET /healthz``)
+* ``graphint worker --port 0``                — start a distributed execution
+  worker (``--data-plane DIR`` shares large arrays by fingerprint instead of
+  shipping them); point any ``--backend`` at a pool of workers with
+  ``distributed:HOST:PORT[,HOST:PORT...][@PLANE_DIR]``
 * ``graphint quiz --dataset NAME``            — run the simulated interpretability test
 * ``graphint export-model --dataset NAME -o DIR`` — fit k-Graph and save a
   servable model artifact (or publish it with ``--registry DIR``)
@@ -134,12 +138,14 @@ def _resolve_kgraph_config(
 def _add_parallel_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend",
-        choices=["serial", "thread", "process", "shared"],
         default=None,
+        metavar="SPEC",
         help=(
             "execution backend for the parallel pipeline stages (default: "
-            "serial); 'shared' is a process pool with zero-copy shared-memory "
-            "dataset plans"
+            "serial); one of serial|thread|process|shared, or "
+            "'distributed:HOST:PORT[,HOST:PORT...][@PLANE_DIR]' to fan out "
+            "over graphint worker services; 'shared' is a process pool with "
+            "zero-copy shared-memory dataset plans"
         ),
     )
     parser.add_argument(
@@ -247,6 +253,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "micro-batch is flushed",
     )
     _add_parallel_arguments(serve)
+
+    worker = subparsers.add_parser(
+        "worker", help="start a distributed execution worker service"
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to listen on (default 0: an OS-assigned ephemeral port, "
+        "announced on stdout once bound)",
+    )
+    worker.add_argument(
+        "--inner-backend",
+        default=None,
+        metavar="SPEC",
+        help="backend the worker runs its own chunk's jobs on (default "
+        "serial; the coordinator already spreads chunks across workers)",
+    )
+    worker.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker-local parallelism for --inner-backend",
+    )
+    worker.add_argument(
+        "--data-plane",
+        default=None,
+        metavar="DIR",
+        help="shared directory this worker may resolve data-plane array "
+        "fingerprints against (omit to require inline payloads)",
+    )
 
     quiz = subparsers.add_parser("quiz", help="run the simulated interpretability test")
     quiz.add_argument("--dataset", default="cylinder_bell_funnel")
@@ -475,12 +513,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         application = CombinedApplication(application, serving)
         print(f"model registry mounted from {Path(args.registry).resolve()}")
-    print(f"serving Graphint on http://{args.host}:{args.port} (Ctrl+C to stop)")
+
+    def announce(server) -> None:
+        # Printed from the ready hook, after bind: with --port 0 the OS
+        # assigns the port, so only the bound server knows the real one.
+        print(
+            f"serving Graphint on http://{args.host}:{server.server_port} "
+            "(Ctrl+C to stop)",
+            flush=True,
+        )
+
     try:
-        serve_application(application, host=args.host, port=args.port)
+        serve_application(
+            application, host=args.host, port=args.port, ready=announce
+        )
     finally:
         if hasattr(application, "close"):
             application.close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.distributed import WORKER_PROCESS_ENV, WorkerApplication, serve_worker
+
+    # Mark this process sacrificial: chaos 'kill' faults may os._exit it.
+    os.environ[WORKER_PROCESS_ENV] = "1"
+    application = WorkerApplication(
+        backend=args.inner_backend,
+        n_jobs=args.jobs,
+        data_plane=args.data_plane,
+    )
+
+    def announce(server) -> None:
+        # One parseable line: supervisors (and the test-suite) read the
+        # bound port and pid from it when --port 0 was used.
+        print(
+            f"worker listening on http://{args.host}:{server.server_port} "
+            f"(pid {os.getpid()})",
+            flush=True,
+        )
+
+    try:
+        serve_worker(
+            application, host=args.host, port=args.port, ready=announce
+        )
+    finally:
+        application.close()
     return 0
 
 
@@ -745,6 +825,7 @@ _COMMANDS = {
     "dashboard": _cmd_dashboard,
     "benchmark": _cmd_benchmark,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "quiz": _cmd_quiz,
     "export-model": _cmd_export_model,
     "import-model": _cmd_import_model,

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.benchmark.runner import BenchmarkResult
@@ -251,16 +251,24 @@ def serve_application(
     host: str = "127.0.0.1",
     port: int = 8050,
     poll: bool = True,
+    ready: Optional[Callable[[ThreadingHTTPServer], None]] = None,
 ) -> ThreadingHTTPServer:
     """Serve any request-routing application over HTTP.
 
-    When ``poll`` is true the call blocks (``serve_forever``); otherwise the
-    configured server object is returned so the caller can drive it (tests
+    ``port=0`` binds an OS-assigned ephemeral port; the actually-bound
+    port is ``server.server_port``.  ``ready`` (if given) is invoked with
+    the configured server after the socket is bound but before serving —
+    the hook callers use to report the real address, and the only way to
+    learn it when ``poll`` is true (the call then blocks in
+    ``serve_forever`` until interrupted or shut down).  With ``poll``
+    false the server object is returned so the caller can drive it (tests
     start ``serve_forever`` on their own thread, or issue single
     ``handle_request`` calls).
     """
     handler = type("BoundHandler", (_Handler,), {"application": application})
     server = ThreadingHTTPServer((host, port), handler)
+    if ready is not None:
+        ready(server)
     if poll:
         try:
             server.serve_forever()
@@ -277,8 +285,11 @@ def serve_dashboard(
     host: str = "127.0.0.1",
     port: int = 8050,
     poll: bool = True,
+    ready: Optional[Callable[[ThreadingHTTPServer], None]] = None,
 ) -> ThreadingHTTPServer:
     """Start the dashboard HTTP server (see :func:`serve_application`)."""
     if application is None:
         application = DashboardApplication()
-    return serve_application(application, host=host, port=port, poll=poll)
+    return serve_application(
+        application, host=host, port=port, poll=poll, ready=ready
+    )

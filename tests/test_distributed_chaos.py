@@ -1,0 +1,182 @@
+"""Chaos faults crossing the distributed wire: drops, raises, real kills.
+
+Two tiers of realism:
+
+* in-process HTTP workers (``serve_worker`` on daemon threads) exercise the
+  ``drop_result`` and ``raise`` faults — the worker replies 200 *without*
+  the victim's outcome (or with a reconstructable ``ChaosError``), and the
+  coordinator's retry machinery recovers bit-identically;
+* subprocess workers started through the real ``graphint worker`` CLI
+  exercise the ``kill`` fault — the worker service ``os._exit(17)``s mid
+  request (it declared itself sacrificial via ``REPRO_WORKER_PROCESS``),
+  the coordinator sees a connection-level crash, quarantines, and the
+  surviving worker finishes the fan-out with results identical to serial.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.distributed import DistributedBackend, WorkerApplication, serve_worker
+from repro.distributed.functions import square
+from repro.parallel import (
+    ChaosBackend,
+    ChaosError,
+    ChaosPlan,
+    RetryPolicy,
+    SerialBackend,
+)
+
+_ANNOUNCE = re.compile(r"http://([\d.]+):(\d+) \(pid (\d+)\)")
+
+
+# --------------------------------------------------------------------- #
+# In-process workers: drop_result and raise over the wire
+# --------------------------------------------------------------------- #
+@pytest.fixture()
+def local_pool():
+    servers, applications, urls = [], [], []
+    for _ in range(2):
+        application = WorkerApplication()
+        server = serve_worker(application, port=0, poll=False)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        servers.append(server)
+        applications.append(application)
+        urls.append(f"127.0.0.1:{server.server_port}")
+    yield {"urls": urls, "applications": applications}
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+    for application in applications:
+        application.close()
+
+
+def test_dropped_results_are_retried_bit_identical(local_pool):
+    jobs = [float(value) for value in range(12)]
+    plan = ChaosPlan.scatter(len(jobs), drop_results=3, seed=7)
+    backend = ChaosBackend(DistributedBackend(local_pool["urls"]), plan)
+    try:
+        outcomes = backend.map_jobs(
+            square, jobs, retry=RetryPolicy(max_attempts=3)
+        )
+        serial = SerialBackend().map_jobs(square, jobs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert [outcome.value for outcome in outcomes] == [
+            outcome.value for outcome in serial
+        ]
+        # Every victim's first attempt was dropped, so each was retried.
+        retried = {outcome.index for outcome in outcomes if outcome.retried}
+        assert plan.drop_results <= retried
+        dropped = sum(
+            application.metrics()["jobs_dropped"]
+            for application in local_pool["applications"]
+        )
+        assert dropped == 3
+    finally:
+        backend.close()
+
+
+def test_injected_raise_reconstructs_chaos_error(local_pool):
+    plan = ChaosPlan(raises=frozenset({1}), persistent=True)
+    backend = ChaosBackend(DistributedBackend(local_pool["urls"]), plan)
+    try:
+        outcomes = backend.map_jobs(square, [1.0, 2.0, 3.0])
+        assert outcomes[0].ok and outcomes[2].ok
+        # The worker captured a ChaosError; the wire codec must hand the
+        # coordinator back the same class, not a stringly degraded one.
+        assert isinstance(outcomes[1].exception, ChaosError)
+        assert "injected failure" in outcomes[1].error
+    finally:
+        backend.close()
+
+
+def test_drop_without_retry_surfaces_missing_outcome(local_pool):
+    plan = ChaosPlan(drop_results=frozenset({0}), persistent=True)
+    backend = ChaosBackend(DistributedBackend(local_pool["urls"]), plan)
+    try:
+        outcomes = backend.map_jobs(square, [4.0])
+        assert not outcomes[0].ok
+        assert "returned no outcome" in outcomes[0].error
+    finally:
+        backend.close()
+
+
+# --------------------------------------------------------------------- #
+# Subprocess workers: a kill fault takes a real service down
+# --------------------------------------------------------------------- #
+def _spawn_cli_worker():
+    env = os.environ.copy()
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.viz.cli", "worker", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    lines = []
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = _ANNOUNCE.search(line)
+        if match:
+            return process, f"{match.group(1)}:{match.group(2)}"
+    process.kill()
+    raise RuntimeError(f"worker never announced itself: {''.join(lines)!r}")
+
+
+def test_kill_fault_exits_worker_and_pool_recovers():
+    first, first_url = _spawn_cli_worker()
+    second, second_url = _spawn_cli_worker()
+    backend = None
+    try:
+        jobs = [float(value) for value in range(8)]
+        plan = ChaosPlan(kills=frozenset({2}))
+        backend = ChaosBackend(
+            DistributedBackend(
+                [first_url, second_url], request_timeout=30.0, probe_timeout=0.5
+            ),
+            plan,
+        )
+        outcomes = backend.map_jobs(
+            square, jobs, retry=RetryPolicy(max_attempts=3, max_pool_rebuilds=2)
+        )
+        serial = SerialBackend().map_jobs(square, jobs)
+        assert all(outcome.ok for outcome in outcomes)
+        assert [outcome.value for outcome in outcomes] == [
+            outcome.value for outcome in serial
+        ]
+        assert outcomes[2].retried  # the victim needed its second attempt
+
+        # One of the two services really died, with the chaos exit code.
+        exit_codes = []
+        for process in (first, second):
+            try:
+                exit_codes.append(process.wait(timeout=10))
+                break
+            except subprocess.TimeoutExpired:
+                continue
+        assert exit_codes == [17] or second.poll() == 17
+    finally:
+        if backend is not None:
+            backend.inner.shutdown_workers()
+            backend.close()
+        for process in (first, second):
+            if process.poll() is None:
+                process.terminate()
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=10)
+            process.stdout.close()

@@ -327,3 +327,38 @@ class TestDegradation:
         request = json.dumps({"series": [0.0] * 64}).encode()
         status, _, body = app.handle_request("POST", "/predict", request)
         assert status == 503
+
+
+class TestEphemeralPortAndReady:
+    """``port=0`` + the ``ready`` hook: how callers learn a bound address."""
+
+    def test_serve_models_ready_reports_ephemeral_port(self, application):
+        seen = {}
+        server = serve_models(
+            application,
+            host="127.0.0.1",
+            port=0,
+            poll=False,
+            ready=lambda bound: seen.update(port=bound.server_port),
+        )
+        try:
+            assert server.server_port > 0
+            assert seen["port"] == server.server_port
+        finally:
+            server.server_close()
+
+    def test_serve_dashboard_forwards_ready(self, fitted_kgraph):
+        from repro.viz.server import DashboardApplication, serve_dashboard
+
+        seen = {}
+        server = serve_dashboard(
+            DashboardApplication(),
+            host="127.0.0.1",
+            port=0,
+            poll=False,
+            ready=lambda bound: seen.update(port=bound.server_port),
+        )
+        try:
+            assert seen["port"] == server.server_port > 0
+        finally:
+            server.server_close()
